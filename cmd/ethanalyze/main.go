@@ -1,0 +1,133 @@
+// Command ethanalyze post-processes a measurement log written by
+// ethsim (or ethmeasure -logs) and prints the paper's tables and
+// figures — the simulated equivalent of the paper's pandas/NumPy
+// pipeline over 600 GB of raw Geth logs.
+//
+// Usage:
+//
+//	ethanalyze -logs logs.jsonl [-top 15]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/logs"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ethanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ethanalyze", flag.ContinueOnError)
+	var (
+		logPath = fs.String("logs", "", "campaign JSONL log file (required)")
+		topN    = fs.Int("top", 15, "pools to list individually in per-pool breakdowns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("-logs is required")
+	}
+
+	campaign, err := logs.ReadCampaignFile(*logPath)
+	if err != nil {
+		return err
+	}
+	if campaign.Chain == nil {
+		return fmt.Errorf("log file has no chain dump; analysis needs it")
+	}
+	dataset := &analysis.Dataset{
+		Blocks: campaign.Blocks,
+		Txs:    campaign.Txs,
+		Chain:  campaign.Chain,
+	}
+	networkSize := 0
+	redundancyVantage := ""
+	if meta := campaign.Meta; meta != nil {
+		dataset.Vantages = meta.Vantages
+		dataset.PoolNames = meta.PoolNames
+		dataset.InterBlock = time.Duration(meta.InterBlockNs)
+		dataset.Duration = time.Duration(meta.DurationNs)
+		networkSize = meta.NetworkSize
+		redundancyVantage = meta.RedundancyVantage
+	} else {
+		// Legacy log without metadata: infer vantages from records.
+		dataset.Vantages = inferVantages(campaign.Blocks)
+		dataset.InterBlock = 13300 * time.Millisecond
+	}
+	fmt.Printf("loaded %d block records, %d tx records, %d chain blocks from %s\n\n",
+		len(campaign.Blocks), len(campaign.Txs), campaign.Chain.Len(), *logPath)
+
+	report.TableI(os.Stdout, measure.PaperInfrastructure())
+	fmt.Println()
+
+	prop, err := analysis.BlockPropagation(dataset)
+	if err != nil {
+		return err
+	}
+	report.Figure1(os.Stdout, prop)
+	fmt.Println()
+
+	if redundancyVantage != "" {
+		red, err := analysis.Redundancy(dataset, redundancyVantage, networkSize)
+		if err != nil {
+			return err
+		}
+		report.TableII(os.Stdout, red)
+		fmt.Println()
+	}
+
+	report.Figure2(os.Stdout, analysis.FirstObservation(dataset))
+	fmt.Println()
+	report.Figure3(os.Stdout, analysis.PoolGeography(dataset, *topN))
+	fmt.Println()
+
+	if len(campaign.Txs) > 0 {
+		report.Figure4(os.Stdout, analysis.CommitTimes(dataset))
+		fmt.Println()
+		report.Figure5(os.Stdout, analysis.TransactionOrdering(dataset))
+		fmt.Println()
+	}
+
+	report.Figure6(os.Stdout, analysis.EmptyBlocks(dataset, *topN))
+	fmt.Println()
+	forks := analysis.Forks(dataset)
+	report.TableIII(os.Stdout, forks)
+	fmt.Println()
+	report.OneMinerForks(os.Stdout, analysis.OneMinerForks(dataset, forks))
+	fmt.Println()
+	report.Figure7(os.Stdout, analysis.Sequences(dataset, 6))
+	if len(campaign.Txs) > 0 {
+		fmt.Println()
+		report.TxPropagation(os.Stdout, analysis.TxPropagation(dataset))
+	}
+	return nil
+}
+
+// inferVantages extracts vantage names from records, for logs written
+// without a metadata entry. The default-peers node cannot be identified
+// without metadata, so all vantages are treated as primary.
+func inferVantages(blocks []measure.BlockRecord) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for i := range blocks {
+		if !seen[blocks[i].Vantage] {
+			seen[blocks[i].Vantage] = true
+			names = append(names, blocks[i].Vantage)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

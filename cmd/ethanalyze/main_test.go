@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ethmeasure"
+	"ethmeasure/internal/measure"
+)
+
+func TestRunRequiresLogs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -logs accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"-logs", filepath.Join(t.TempDir(), "absent.jsonl")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunAnalyzesCampaignFile(t *testing.T) {
+	cfg := ethmeasure.QuickConfig()
+	cfg.Duration = 5 * time.Minute
+	cfg.NumNodes = 60
+	cfg.OutDegree = 5
+	for i := range cfg.Vantages {
+		if cfg.Vantages[i].Peers > 20 {
+			cfg.Vantages[i].Peers = 20
+		}
+	}
+	cfg.TxGen.Rate = 0.3
+	cfg.TxGen.NumAccounts = 50
+	campaign, err := ethmeasure.NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	if err := campaign.WriteLogs(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-logs", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferVantages(t *testing.T) {
+	records := []measure.BlockRecord{
+		{Vantage: "WE"}, {Vantage: "EA"}, {Vantage: "WE"}, {Vantage: "NA"},
+	}
+	got := inferVantages(records)
+	if len(got) != 3 || got[0] != "EA" || got[1] != "NA" || got[2] != "WE" {
+		t.Errorf("inferred %v", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Command ethmeasure runs an end-to-end measurement campaign on the
+// simulated Ethereum network and prints the paper's tables and
+// figures. It is the one-command equivalent of the paper's month-long
+// deployment plus offline analysis.
+//
+// Usage:
+//
+//	ethmeasure [-preset quick|default|paper] [-seed N] [-duration D]
+//	           [-nodes N] [-txrate R] [-print-infra] [-logs PATH]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ethmeasure"
+	"ethmeasure/internal/core"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ethmeasure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ethmeasure", flag.ContinueOnError)
+	var (
+		preset     = fs.String("preset", "default", "configuration preset: quick | default | paper")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		duration   = fs.Duration("duration", 0, "override virtual campaign duration")
+		nodes      = fs.Int("nodes", 0, "override regular node count")
+		txRate     = fs.Float64("txrate", 0, "override transaction rate (tx/s)")
+		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
+		printInfra = fs.Bool("print-infra", false, "print Table I (infrastructure) and exit")
+		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this JSONL file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *printInfra {
+		report.TableI(os.Stdout, measure.PaperInfrastructure())
+		return nil
+	}
+
+	var cfg ethmeasure.Config
+	switch *preset {
+	case "quick":
+		cfg = ethmeasure.QuickConfig()
+	case "default":
+		cfg = ethmeasure.DefaultConfig()
+	case "paper":
+		cfg = ethmeasure.PaperScaleConfig()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	cfg.Seed = *seed
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *nodes > 0 {
+		cfg.NumNodes = *nodes
+	}
+	if *txRate > 0 {
+		cfg.TxGen.Rate = *txRate
+		cfg.Mining.BlockCapacity = core.DeriveBlockCapacity(cfg.TxGen.EffectiveRate(), cfg.Mining.InterBlockTime, 0.8)
+		cfg.TxGen.MempoolFloor = cfg.Mining.BlockCapacity * 3 / 2
+	}
+	if *noTx {
+		cfg.EnableTxWorkload = false
+	}
+
+	campaign, err := ethmeasure.NewCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running %s campaign: %d nodes, %v virtual time, seed %d\n\n",
+		*preset, cfg.NumNodes, cfg.Duration, cfg.Seed)
+	results, err := campaign.Run()
+	if err != nil {
+		return err
+	}
+
+	st := results.Stats
+	fmt.Printf("simulated %v in %v wall time: %d events, %d messages, %d blocks, %d txs\n\n",
+		st.VirtualDuration, st.WallDuration.Round(time.Millisecond),
+		st.Events, st.Messages, st.BlocksCreated, st.TxsCreated)
+	ethmeasure.WriteReport(os.Stdout, results)
+
+	if *logPath != "" {
+		if err := campaign.WriteLogs(*logPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote measurement logs to %s\n", *logPath)
+	}
+	return nil
+}

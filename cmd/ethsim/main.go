@@ -1,0 +1,89 @@
+// Command ethsim runs the network simulation and writes the raw
+// measurement logs (plus the chain dump) to a JSONL file — the
+// simulated equivalent of the paper's instrumented Geth deployment,
+// producing the dataset that cmd/ethanalyze post-processes.
+//
+// Usage:
+//
+//	ethsim -out logs.jsonl [-preset quick|default|paper] [-seed N]
+//	       [-duration D] [-nodes N] [-no-tx]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ethmeasure"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ethsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ethsim", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "", "output JSONL file (required)")
+		preset   = fs.String("preset", "quick", "configuration preset: quick | default | paper")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		duration = fs.Duration("duration", 0, "override virtual campaign duration")
+		nodes    = fs.Int("nodes", 0, "override regular node count")
+		noTx     = fs.Bool("no-tx", false, "disable the transaction workload")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var cfg ethmeasure.Config
+	switch *preset {
+	case "quick":
+		cfg = ethmeasure.QuickConfig()
+	case "default":
+		cfg = ethmeasure.DefaultConfig()
+	case "paper":
+		cfg = ethmeasure.PaperScaleConfig()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	cfg.Seed = *seed
+	if *duration > 0 {
+		cfg.Duration = *duration
+	}
+	if *nodes > 0 {
+		cfg.NumNodes = *nodes
+	}
+	if *noTx {
+		cfg.EnableTxWorkload = false
+	}
+
+	campaign, err := ethmeasure.NewCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulating %v over %d nodes (seed %d)...\n", cfg.Duration, cfg.NumNodes, cfg.Seed)
+	start := time.Now()
+	results, err := campaign.Run()
+	if err != nil {
+		return err
+	}
+	st := results.Stats
+	fmt.Printf("done in %v: %d blocks, %d txs, %d messages\n",
+		time.Since(start).Round(time.Millisecond), st.BlocksCreated, st.TxsCreated, st.Messages)
+
+	rec := campaign.Recorder()
+	if err := campaign.WriteLogs(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d block records, %d tx records and the chain dump to %s\n",
+		len(rec.Blocks), len(rec.Txs), *out)
+	fmt.Println("analyze with: ethanalyze -logs", *out)
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}
+
+func TestRunRejectsUnknownPreset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.jsonl")
+	if err := run([]string{"-out", out, "-preset", "bogus"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestRunWritesLogs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "campaign.jsonl")
+	err := run([]string{
+		"-out", out, "-preset", "quick",
+		"-duration", "5m", "-nodes", "60", "-no-tx", "-seed", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("log file empty")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

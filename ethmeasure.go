@@ -1,0 +1,226 @@
+// Package ethmeasure reproduces the measurement study "Impact of
+// Geo-distribution and Mining Pools on Blockchains: A Study of
+// Ethereum" (Silva, Vavřička, Barreto, Matos — DSN 2020) as a
+// self-contained Go library.
+//
+// Because a live one-month mainnet campaign is not reproducible on
+// demand, the library ships the substrate the paper measured: a
+// deterministic discrete-event simulation of the Ethereum network —
+// Geth 1.8-style block/transaction relay, geo-distributed mining pools
+// with the paper's April-2019 power shares, and the selfish behaviours
+// the paper documents — plus the instrumented measurement nodes and
+// the full analysis pipeline that regenerates every table and figure
+// of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := ethmeasure.QuickConfig()
+//	campaign, err := ethmeasure.NewCampaign(cfg)
+//	if err != nil { ... }
+//	results, err := campaign.Run()
+//	if err != nil { ... }
+//	ethmeasure.WriteReport(os.Stdout, results)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package ethmeasure
+
+import (
+	"io"
+
+	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/core"
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/mining"
+	"ethmeasure/internal/report"
+	"ethmeasure/internal/types"
+)
+
+// Re-exported configuration and campaign types. These aliases form the
+// stable public API over the internal implementation packages.
+type (
+	// Config fully describes a measurement campaign.
+	Config = core.Config
+	// VantageSpec places one instrumented measurement node.
+	VantageSpec = core.VantageSpec
+	// Campaign is one configured run.
+	Campaign = core.Campaign
+	// Results bundles the dataset and every per-figure analysis.
+	Results = core.Results
+	// RunStats summarises a finished run.
+	RunStats = core.RunStats
+	// PoolSpec describes one mining pool.
+	PoolSpec = mining.PoolSpec
+	// Region is a coarse geographic area.
+	Region = geo.Region
+	// MachineSpec is one measurement machine (paper Table I).
+	MachineSpec = measure.MachineSpec
+	// PoolID identifies a mining pool in winner sequences.
+	PoolID = types.PoolID
+	// HistoricalEpoch is one period of chain history with its own
+	// miner-power distribution (whole-blockchain scan, §III-D).
+	HistoricalEpoch = mining.HistoricalEpoch
+	// SequencesResult is the Figure 7 / §III-D sequence analysis.
+	SequencesResult = analysis.SequencesResult
+)
+
+// Geographic regions (the first four are the paper's vantage points).
+const (
+	NorthAmerica  = geo.NorthAmerica
+	EasternAsia   = geo.EasternAsia
+	WesternEurope = geo.WesternEurope
+	CentralEurope = geo.CentralEurope
+	EasternEurope = geo.EasternEurope
+	SoutheastAsia = geo.SoutheastAsia
+	SouthAmerica  = geo.SouthAmerica
+	Oceania       = geo.Oceania
+)
+
+// DefaultConfig returns the laptop-scale campaign preset.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// QuickConfig returns a small preset for tests and examples.
+func QuickConfig() Config { return core.QuickConfig() }
+
+// PaperScaleConfig approximates the paper's real campaign dimensions.
+func PaperScaleConfig() Config { return core.PaperScaleConfig() }
+
+// NewCampaign validates cfg and builds the full simulated system.
+func NewCampaign(cfg Config) (*Campaign, error) { return core.NewCampaign(cfg) }
+
+// PaperPools returns the 15 named pools (plus remainder) with the
+// paper's measured power shares and behaviour calibration.
+func PaperPools() []PoolSpec { return mining.PaperPools() }
+
+// UniformGatewayPools is PaperPools with geography removed (ablation).
+func UniformGatewayPools() []PoolSpec { return mining.UniformGatewayPools() }
+
+// PaperInfrastructure returns the paper's Table I machine specs.
+func PaperInfrastructure() []MachineSpec { return measure.PaperInfrastructure() }
+
+// FastWinners generates n main-chain block winners without simulating
+// the network (chain-level fast simulation). Consecutive-sequence
+// statistics depend only on the winner distribution, so this powers
+// month-scale and whole-history Figure 7 / §III-D studies in
+// milliseconds.
+func FastWinners(pools []PoolSpec, n int, seed int64) ([]PoolID, []string, error) {
+	fc, err := mining.NewFastChain(pools, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fc.Winners(n), fc.PoolNames(), nil
+}
+
+// DefaultHistory approximates the evolution of Ethereum's miner
+// concentration from genesis to block ~7.68M (May 2019).
+func DefaultHistory() []HistoricalEpoch { return mining.DefaultHistory() }
+
+// HistoricalWinners concatenates winner sequences across epochs.
+func HistoricalWinners(epochs []HistoricalEpoch, seed int64) ([]PoolID, []string, error) {
+	return mining.HistoricalWinners(epochs, seed)
+}
+
+// AnalyzeSequences computes the Figure 7 analysis over an explicit
+// winner sequence.
+func AnalyzeSequences(winners []PoolID, poolNames []string, interBlockSec float64, topN int) *SequencesResult {
+	return analysis.SequencesFromWinners(winners, poolNames, interBlockSec, topN)
+}
+
+// HistoricalSequenceCounts counts runs of length ≥ each threshold (the
+// paper's whole-blockchain scan found 102/41/4/1 runs of ≥10/11/12/14).
+func HistoricalSequenceCounts(winners []PoolID, thresholds []int) map[int]int {
+	return analysis.HistoricalSequenceCounts(winners, thresholds)
+}
+
+// ExpectedSequences is the paper's §III-D estimate n·p^k of how many
+// k-block runs a pool with power share p produces over n blocks.
+func ExpectedSequences(p float64, k, n int) float64 {
+	return analysis.ExpectedSequences(p, k, n)
+}
+
+// WriteSequences renders a Figure 7 analysis to w.
+func WriteSequences(w io.Writer, r *SequencesResult) { report.Figure7(w, r) }
+
+// FinalityResult is the k-block confirmation-rule safety analysis.
+type FinalityResult = analysis.FinalityResult
+
+// AnalyzeFinality evaluates the k-block rule over a winner sequence,
+// sweeping confirmation depths 1..maxDepth (paper §III-D).
+func AnalyzeFinality(winners []PoolID, poolNames []string, maxDepth int) *FinalityResult {
+	return analysis.FinalityFromWinners(winners, poolNames, maxDepth)
+}
+
+// WriteFinality renders a finality analysis to w.
+func WriteFinality(w io.Writer, r *FinalityResult) { report.Finality(w, r) }
+
+// DefaultChurnConfig returns the mild churn profile used by the churn
+// ablation (node restarts across the regular population).
+func DefaultChurnConfig() core.ChurnConfig { return core.DefaultChurnConfig() }
+
+// ChurnConfig models node turnover (see Config.Churn).
+type ChurnConfig = core.ChurnConfig
+
+// WriteReport renders every available analysis in results to w in the
+// order the paper presents them.
+func WriteReport(w io.Writer, results *Results) {
+	fprintSection := func(fn func()) {
+		fn()
+		io.WriteString(w, "\n")
+	}
+	fprintSection(func() { report.TableI(w, measure.PaperInfrastructure()) })
+	if results.Propagation != nil {
+		fprintSection(func() { report.Figure1(w, results.Propagation) })
+	}
+	if results.Redundancy != nil {
+		fprintSection(func() { report.TableII(w, results.Redundancy) })
+	}
+	if results.FirstObs != nil {
+		fprintSection(func() { report.Figure2(w, results.FirstObs) })
+	}
+	if results.PoolGeo != nil {
+		fprintSection(func() { report.Figure3(w, results.PoolGeo) })
+	}
+	if results.Commit != nil {
+		fprintSection(func() { report.Figure4(w, results.Commit) })
+	}
+	if results.Ordering != nil {
+		fprintSection(func() { report.Figure5(w, results.Ordering) })
+	}
+	if results.Empty != nil {
+		fprintSection(func() { report.Figure6(w, results.Empty) })
+	}
+	if results.Forks != nil {
+		fprintSection(func() { report.TableIII(w, results.Forks) })
+	}
+	if results.OneMiner != nil {
+		fprintSection(func() { report.OneMinerForks(w, results.OneMiner) })
+	}
+	if results.Sequences != nil {
+		fprintSection(func() { report.Figure7(w, results.Sequences) })
+	}
+	if results.TxProp != nil {
+		fprintSection(func() { report.TxPropagation(w, results.TxProp) })
+	}
+	if results.GeoDelay != nil {
+		fprintSection(func() { report.GeoDelay(w, results.GeoDelay) })
+	}
+	if results.FeeMarket != nil {
+		fprintSection(func() { report.FeeMarket(w, results.FeeMarket) })
+	}
+	if results.InterBlock != nil {
+		fprintSection(func() { report.InterBlock(w, results.InterBlock) })
+	}
+	if results.Throughput != nil {
+		fprintSection(func() { report.Throughput(w, results.Throughput) })
+	}
+	if results.Rewards != nil {
+		fprintSection(func() { report.Rewards(w, results.Rewards) })
+	}
+	if results.Finality != nil {
+		fprintSection(func() { report.Finality(w, results.Finality) })
+	}
+	if results.Withholding != nil {
+		fprintSection(func() { report.Withholding(w, results.Withholding) })
+	}
+}

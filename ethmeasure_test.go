@@ -1,0 +1,85 @@
+package ethmeasure
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallConfig() Config {
+	cfg := QuickConfig()
+	cfg.Duration = 10 * time.Minute
+	cfg.NumNodes = 60
+	cfg.OutDegree = 5
+	for i := range cfg.Vantages {
+		if cfg.Vantages[i].Peers > 20 {
+			cfg.Vantages[i].Peers = 20
+		}
+	}
+	cfg.TxGen.Rate = 0.3
+	cfg.TxGen.NumAccounts = 100
+	return cfg
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	campaign, err := NewCampaign(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteReport(&sb, results)
+	out := sb.String()
+	for _, want := range []string{
+		"Table I", "Figure 1", "Table II", "Figure 2", "Figure 3",
+		"Figure 4", "Figure 5", "Figure 6", "Table III",
+		"One-miner forks", "Figure 7", "Transaction propagation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+}
+
+func TestPublicPoolPresets(t *testing.T) {
+	pools := PaperPools()
+	if len(pools) != 16 {
+		t.Errorf("PaperPools = %d entries", len(pools))
+	}
+	uniform := UniformGatewayPools()
+	if len(uniform) != len(pools) {
+		t.Error("uniform pools must mirror the paper population")
+	}
+	if len(PaperInfrastructure()) != 4 {
+		t.Error("PaperInfrastructure must list 4 machines")
+	}
+}
+
+func TestRegionConstantsExposed(t *testing.T) {
+	regions := []Region{
+		NorthAmerica, EasternAsia, WesternEurope, CentralEurope,
+		EasternEurope, SoutheastAsia, SouthAmerica, Oceania,
+	}
+	seen := make(map[Region]bool)
+	for _, r := range regions {
+		if seen[r] {
+			t.Fatalf("duplicate region constant %v", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestPresetsExposed(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"default": DefaultConfig(),
+		"quick":   QuickConfig(),
+		"paper":   PaperScaleConfig(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

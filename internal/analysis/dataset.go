@@ -1,0 +1,195 @@
+// Package analysis implements the paper's measurement-processing
+// pipeline: one analyzer per table and figure of the evaluation
+// (§III), operating on the records collected by the measurement
+// vantages plus the global block registry.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/types"
+)
+
+// Dataset bundles everything one campaign produced.
+type Dataset struct {
+	// Vantages lists the primary vantage names in presentation order
+	// (the paper uses WE, CE, NA, EA in Figure 2). Records from other
+	// (auxiliary) vantages — e.g. the default-peers redundancy node —
+	// are excluded from first-observation and delay analyses, matching
+	// the paper's separate subsidiary measurement.
+	Vantages []string
+
+	// Blocks holds every block-related message reception at every
+	// vantage (full blocks, announcements, fetched bodies).
+	Blocks []measure.BlockRecord
+
+	// Txs holds the first observation of each transaction per vantage.
+	Txs []measure.TxRecord
+
+	// Chain is the global registry of all blocks created during the
+	// run, including every fork.
+	Chain *chain.Registry
+
+	// PoolNames maps PoolID-1 to the pool's name.
+	PoolNames []string
+
+	// InterBlock is the configured mean inter-block time.
+	InterBlock time.Duration
+
+	// Duration is the measured (virtual) campaign length.
+	Duration time.Duration
+}
+
+// PoolName resolves a PoolID to its display name.
+func (d *Dataset) PoolName(id types.PoolID) string {
+	i := int(id) - 1
+	if i < 0 || i >= len(d.PoolNames) {
+		return fmt.Sprintf("pool-%d", id)
+	}
+	return d.PoolNames[i]
+}
+
+// blockArrivals groups block records by hash, keeping the earliest
+// observation per vantage (any message kind: a hash announcement
+// counts as observing the block, as in the paper's methodology).
+type blockArrivals struct {
+	hash    types.Hash
+	first   map[string]time.Duration // vantage -> earliest local time
+	minTime time.Duration
+	minVant string
+}
+
+// primarySet returns the set of primary vantage names.
+func (d *Dataset) primarySet() map[string]bool {
+	set := make(map[string]bool, len(d.Vantages))
+	for _, v := range d.Vantages {
+		set[v] = true
+	}
+	return set
+}
+
+// arrivalsByBlock computes per-block earliest arrivals per primary
+// vantage. Blocks are returned in ascending order of their global
+// first observation.
+func (d *Dataset) arrivalsByBlock() []*blockArrivals {
+	primary := d.primarySet()
+	byHash := make(map[types.Hash]*blockArrivals, 1024)
+	for i := range d.Blocks {
+		r := &d.Blocks[i]
+		if !primary[r.Vantage] {
+			continue
+		}
+		a, ok := byHash[r.Hash]
+		if !ok {
+			a = &blockArrivals{
+				hash:    r.Hash,
+				first:   make(map[string]time.Duration, 4),
+				minTime: r.At,
+				minVant: r.Vantage,
+			}
+			byHash[r.Hash] = a
+		}
+		prev, seen := a.first[r.Vantage]
+		if !seen || r.At < prev {
+			a.first[r.Vantage] = r.At
+		}
+		if r.At < a.minTime {
+			a.minTime = r.At
+			a.minVant = r.Vantage
+		}
+	}
+	out := make([]*blockArrivals, 0, len(byHash))
+	for _, a := range byHash {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].minTime != out[j].minTime {
+			return out[i].minTime < out[j].minTime
+		}
+		return out[i].hash < out[j].hash
+	})
+	return out
+}
+
+// txFirstSeen computes, per transaction, the earliest observation
+// across the primary vantages (the paper's "first observed by our
+// measurement nodes").
+func (d *Dataset) txFirstSeen() map[types.Hash]time.Duration {
+	primary := d.primarySet()
+	first := make(map[types.Hash]time.Duration, len(d.Txs)/2)
+	for i := range d.Txs {
+		r := &d.Txs[i]
+		if !primary[r.Vantage] {
+			continue
+		}
+		prev, ok := first[r.Hash]
+		if !ok || r.At < prev {
+			first[r.Hash] = r.At
+		}
+	}
+	return first
+}
+
+// blockFirstSeen computes, per block, the earliest observation across
+// the primary vantages.
+func (d *Dataset) blockFirstSeen() map[types.Hash]time.Duration {
+	primary := d.primarySet()
+	first := make(map[types.Hash]time.Duration, 1024)
+	for i := range d.Blocks {
+		r := &d.Blocks[i]
+		if !primary[r.Vantage] {
+			continue
+		}
+		prev, ok := first[r.Hash]
+		if !ok || r.At < prev {
+			first[r.Hash] = r.At
+		}
+	}
+	return first
+}
+
+// mainChainIndex maps every committed transaction to its including
+// main-chain block and exposes the main chain itself.
+type mainChainIndex struct {
+	main      []*types.Block
+	byHeight  map[uint64]*types.Block
+	txToBlock map[types.Hash]*types.Block
+}
+
+func (d *Dataset) buildMainIndex() *mainChainIndex {
+	main := d.Chain.MainChain()
+	idx := &mainChainIndex{
+		main:      main,
+		byHeight:  make(map[uint64]*types.Block, len(main)),
+		txToBlock: make(map[types.Hash]*types.Block, len(main)*8),
+	}
+	for _, b := range main {
+		idx.byHeight[b.Number] = b
+		for _, tx := range b.TxHashes {
+			idx.txToBlock[tx] = b
+		}
+	}
+	return idx
+}
+
+// DurationsToSeconds converts a slice of durations to float seconds.
+func DurationsToSeconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// DurationsToMillis converts a slice of durations to float milliseconds.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"time"
+
+	"ethmeasure/internal/stats"
+)
+
+// GeoDelayResult drills into Figure 1: per-vantage block reception
+// delays relative to the first observation, exposing which vantage
+// pairs sit close together (WE/CE) and which lag (NA behind EA-origin
+// blocks) — the geographic structure that Figure 2 summarises as
+// first-observation counts.
+type GeoDelayResult struct {
+	Vantages []string
+
+	// MedianMs[v] is the median delay of vantage v behind the first
+	// observer, over blocks where v was not first.
+	MedianMs map[string]float64
+
+	// P90Ms[v] is the 90th percentile of the same distribution.
+	P90Ms map[string]float64
+
+	// Samples[v] is the number of (block, v) lag observations.
+	Samples map[string]int
+
+	Blocks int
+}
+
+// GeoDelay computes per-vantage lag distributions.
+func GeoDelay(d *Dataset) *GeoDelayResult {
+	res := &GeoDelayResult{
+		Vantages: append([]string(nil), d.Vantages...),
+		MedianMs: make(map[string]float64, len(d.Vantages)),
+		P90Ms:    make(map[string]float64, len(d.Vantages)),
+		Samples:  make(map[string]int, len(d.Vantages)),
+	}
+	perVantage := make(map[string]*stats.Sample, len(d.Vantages))
+	for _, v := range d.Vantages {
+		perVantage[v] = stats.NewSample(1024)
+	}
+	for _, a := range d.arrivalsByBlock() {
+		if len(a.first) < 2 {
+			continue
+		}
+		res.Blocks++
+		for vant, at := range a.first {
+			if vant == a.minVant {
+				continue
+			}
+			delta := at - a.minTime
+			if delta < 0 {
+				delta = 0
+			}
+			if s, ok := perVantage[vant]; ok {
+				s.Add(float64(delta) / float64(time.Millisecond))
+			}
+		}
+	}
+	for _, v := range d.Vantages {
+		s := perVantage[v]
+		res.Samples[v] = s.N()
+		if s.N() > 0 {
+			res.MedianMs[v] = s.MustQuantile(0.5)
+			res.P90Ms[v] = s.MustQuantile(0.9)
+		}
+	}
+	return res
+}

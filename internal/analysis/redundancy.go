@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"ethmeasure/internal/stats"
+	"ethmeasure/internal/types"
+)
+
+// RedundancyRow is one row of Table II.
+type RedundancyRow struct {
+	MessageType string
+	Avg         float64
+	Median      float64
+	Top10       float64 // 90th percentile
+	Top1        float64 // 99th percentile
+}
+
+// RedundancyResult reproduces Table II: how many redundant copies of
+// each block a node with default peer settings receives, split by
+// message type. The paper ran this on a subsidiary node with the
+// default 25 peers (§III-A2).
+type RedundancyResult struct {
+	Vantage       string
+	Blocks        int
+	Announcements RedundancyRow
+	WholeBlocks   RedundancyRow
+	Combined      RedundancyRow
+
+	// OptimalLn is ln(networkSize), the gossip-theoretic target fanout
+	// the paper compares the combined mean against (Eugster et al.).
+	OptimalLn float64
+}
+
+// Redundancy computes Table II from the records of the named vantage.
+// networkSize feeds the ln(n) optimality comparison.
+func Redundancy(d *Dataset, vantage string, networkSize int) (*RedundancyResult, error) {
+	type counts struct{ ann, full int }
+	perBlock := make(map[types.Hash]*counts, 1024)
+	found := false
+	for i := range d.Blocks {
+		r := &d.Blocks[i]
+		if r.Vantage != vantage {
+			continue
+		}
+		found = true
+		c, ok := perBlock[r.Hash]
+		if !ok {
+			c = &counts{}
+			perBlock[r.Hash] = c
+		}
+		switch r.Kind {
+		case "announce":
+			c.ann++
+		case "block":
+			c.full++
+			// "fetched" bodies are replies to explicit requests, not
+			// redundant gossip, and are excluded as in the paper.
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("analysis: no records for vantage %q", vantage)
+	}
+
+	ann := stats.NewSample(len(perBlock))
+	full := stats.NewSample(len(perBlock))
+	both := stats.NewSample(len(perBlock))
+	for _, c := range perBlock {
+		ann.Add(float64(c.ann))
+		full.Add(float64(c.full))
+		both.Add(float64(c.ann + c.full))
+	}
+	row := func(name string, s *stats.Sample) RedundancyRow {
+		mean, _ := s.Mean()
+		return RedundancyRow{
+			MessageType: name,
+			Avg:         mean,
+			Median:      s.MustQuantile(0.5),
+			Top10:       s.MustQuantile(0.90),
+			Top1:        s.MustQuantile(0.99),
+		}
+	}
+	res := &RedundancyResult{
+		Vantage:       vantage,
+		Blocks:        len(perBlock),
+		Announcements: row("Announcements", ann),
+		WholeBlocks:   row("Whole Blocks", full),
+		Combined:      row("Both combined", both),
+	}
+	if networkSize > 1 {
+		res.OptimalLn = math.Log(float64(networkSize))
+	}
+	return res, nil
+}

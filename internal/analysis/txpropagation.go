@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"time"
+
+	"ethmeasure/internal/stats"
+	"ethmeasure/internal/types"
+)
+
+// TxPropagationResult covers §III-A1's transaction-propagation
+// finding: unlike blocks, transaction first observations are *not*
+// meaningfully skewed by geography, because transactions are small,
+// propagate within the NTP measurement error, and originate from a
+// geographically dispersed sender population.
+type TxPropagationResult struct {
+	Vantages []string
+
+	// FirstShares is each vantage's share of transaction first
+	// observations (near-uniform, unlike Figure 2's block shares).
+	FirstShares map[string]float64
+
+	// MedianDelayMs maps each vantage to the median delay between the
+	// global first observation of a transaction and that vantage's
+	// observation. Values inside the 10 ms NTP bound support the
+	// paper's "not affected by geographic location" conclusion.
+	MedianDelayMs map[string]float64
+
+	// DelaysMs pools all (tx, later-vantage) delays.
+	DelaysMs *stats.Sample
+
+	Txs int
+
+	// FirstShareSpread is the largest difference between vantage first-
+	// observation shares, a scalar "geo skew" indicator.
+	FirstShareSpread float64
+}
+
+// TxPropagation computes the §III-A1 transaction-geography analysis.
+func TxPropagation(d *Dataset) *TxPropagationResult {
+	type arrival struct {
+		first   map[string]time.Duration
+		minTime time.Duration
+		minVant string
+	}
+	primary := d.primarySet()
+	byHash := make(map[types.Hash]*arrival, len(d.Txs)/2)
+	for i := range d.Txs {
+		r := &d.Txs[i]
+		if !primary[r.Vantage] {
+			continue
+		}
+		a, ok := byHash[r.Hash]
+		if !ok {
+			a = &arrival{
+				first:   make(map[string]time.Duration, 4),
+				minTime: r.At,
+				minVant: r.Vantage,
+			}
+			byHash[r.Hash] = a
+		}
+		prev, seen := a.first[r.Vantage]
+		if !seen || r.At < prev {
+			a.first[r.Vantage] = r.At
+		}
+		if r.At < a.minTime {
+			a.minTime = r.At
+			a.minVant = r.Vantage
+		}
+	}
+
+	res := &TxPropagationResult{
+		Vantages:      append([]string(nil), d.Vantages...),
+		FirstShares:   make(map[string]float64, len(d.Vantages)),
+		MedianDelayMs: make(map[string]float64, len(d.Vantages)),
+		DelaysMs:      stats.NewSample(len(byHash) * 3),
+	}
+	perVantage := make(map[string]*stats.Sample, len(d.Vantages))
+	firsts := make(map[string]int, len(d.Vantages))
+	for _, a := range byHash {
+		if len(a.first) < 2 {
+			continue
+		}
+		res.Txs++
+		firsts[a.minVant]++
+		for vant, at := range a.first {
+			if vant == a.minVant {
+				continue
+			}
+			delta := at - a.minTime
+			if delta < 0 {
+				delta = 0
+			}
+			ms := float64(delta) / float64(time.Millisecond)
+			res.DelaysMs.Add(ms)
+			s, ok := perVantage[vant]
+			if !ok {
+				s = stats.NewSample(1024)
+				perVantage[vant] = s
+			}
+			s.Add(ms)
+		}
+	}
+	if res.Txs == 0 {
+		return res
+	}
+	minShare, maxShare := 1.0, 0.0
+	for _, v := range d.Vantages {
+		share := float64(firsts[v]) / float64(res.Txs)
+		res.FirstShares[v] = share
+		if share < minShare {
+			minShare = share
+		}
+		if share > maxShare {
+			maxShare = share
+		}
+		if s, ok := perVantage[v]; ok {
+			res.MedianDelayMs[v] = s.MustQuantile(0.5)
+		}
+	}
+	res.FirstShareSpread = maxShare - minShare
+	return res
+}

@@ -1,0 +1,39 @@
+package chain
+
+import "ethmeasure/internal/types"
+
+// Reorg computes the chain segments abandoned and adopted when a head
+// moves from oldHead to newHead: abandoned blocks descend from the
+// common ancestor on the old branch (newest first), adopted blocks on
+// the new branch (oldest first). The walk gives up after maxDepth steps
+// on either side (deep reorgs do not occur in these simulations; the
+// paper's longest fork is 3 blocks).
+func Reorg(reg *Registry, oldHead, newHead *types.Block, maxDepth int) (abandoned, adopted []*types.Block) {
+	a, b := oldHead, newHead
+	steps := 0
+	for a.Number > b.Number && steps < maxDepth {
+		abandoned = append(abandoned, a)
+		a = reg.MustGet(a.ParentHash)
+		steps++
+	}
+	for b.Number > a.Number && steps < maxDepth {
+		adopted = append(adopted, b)
+		b = reg.MustGet(b.ParentHash)
+		steps++
+	}
+	for a.Hash != b.Hash && steps < maxDepth {
+		abandoned = append(abandoned, a)
+		adopted = append(adopted, b)
+		if a.ParentHash.IsZero() || b.ParentHash.IsZero() {
+			break
+		}
+		a = reg.MustGet(a.ParentHash)
+		b = reg.MustGet(b.ParentHash)
+		steps++
+	}
+	// adopted was collected newest-first; reverse to oldest-first.
+	for i, j := 0, len(adopted)-1; i < j; i, j = i+1, j-1 {
+		adopted[i], adopted[j] = adopted[j], adopted[i]
+	}
+	return abandoned, adopted
+}

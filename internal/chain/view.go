@@ -1,0 +1,140 @@
+package chain
+
+import (
+	"ethmeasure/internal/types"
+)
+
+// View is one node's live view of the blockchain: which blocks it has
+// imported, its current head under the fork-choice rule, and the
+// side-chain blocks it could reference as uncles when mining.
+//
+// Views hold per-node state only; block bodies live once in the shared
+// Registry. Old entries are pruned beyond a height window to keep
+// memory proportional to network size rather than chain length.
+type View struct {
+	reg      *Registry
+	known    map[types.Hash]bool
+	byHeight map[uint64][]types.Hash
+	head     *types.Block
+	minKept  uint64 // lowest height still tracked in byHeight/known
+
+	// pruneWindow controls how far behind the head block metadata is
+	// retained. It must exceed MaxUncleDepth and the longest plausible
+	// reorg; gossip only concerns recent blocks.
+	pruneWindow uint64
+}
+
+// NewView creates a view anchored at the registry's genesis.
+func NewView(reg *Registry) *View {
+	g := reg.Genesis()
+	v := &View{
+		reg:         reg,
+		known:       make(map[types.Hash]bool, 64),
+		byHeight:    make(map[uint64][]types.Hash, 64),
+		head:        g,
+		minKept:     g.Number,
+		pruneWindow: 128,
+	}
+	v.known[g.Hash] = true
+	v.byHeight[g.Number] = append(v.byHeight[g.Number], g.Hash)
+	return v
+}
+
+// Head returns the node's current head block.
+func (v *View) Head() *types.Block { return v.head }
+
+// Knows reports whether the node has imported (or pruned, for very old
+// heights where knowledge is assumed) the given block.
+func (v *View) Knows(h types.Hash) bool {
+	if v.known[h] {
+		return true
+	}
+	// Blocks below the prune horizon were either imported and forgotten
+	// or are ancient; either way the node treats them as known so that
+	// gossip logic never re-requests history.
+	if b, ok := v.reg.Get(h); ok && b.Number < v.minKept {
+		return true
+	}
+	return false
+}
+
+// Import adds a block to the view and applies the fork-choice rule:
+// the head moves to the block with the higher total difficulty; on a
+// tie the incumbent wins (first-seen rule, as in Geth). It reports
+// whether the head changed.
+func (v *View) Import(b *types.Block) bool {
+	if v.known[b.Hash] {
+		return false
+	}
+	v.known[b.Hash] = true
+	if b.Number >= v.minKept {
+		v.byHeight[b.Number] = append(v.byHeight[b.Number], b.Hash)
+	}
+	reorg := b.TotalDiff > v.head.TotalDiff
+	if reorg {
+		v.head = b
+		v.prune()
+	}
+	return reorg
+}
+
+func (v *View) prune() {
+	if v.head.Number < v.minKept+v.pruneWindow*2 {
+		return
+	}
+	keepFrom := v.head.Number - v.pruneWindow
+	for h := v.minKept; h < keepFrom; h++ {
+		for _, bh := range v.byHeight[h] {
+			delete(v.known, bh)
+		}
+		delete(v.byHeight, h)
+	}
+	v.minKept = keepFrom
+}
+
+// UncleCandidates returns up to max side-chain blocks that would be
+// valid uncles for a block extending the current head, preferring
+// older candidates first (they expire soonest). This mirrors the
+// behaviour of Geth's miner, which sweeps its "possible uncles" set.
+func (v *View) UncleCandidates(max int) []types.Hash {
+	return v.UncleCandidatesFor(v.head, max)
+}
+
+// UncleCandidatesFor is UncleCandidates for a block extending an
+// arbitrary parent — mining pools use it because their mining job may
+// briefly lag the gateway's imported head.
+func (v *View) UncleCandidatesFor(parent *types.Block, max int) []types.Hash {
+	if max <= 0 {
+		return nil
+	}
+	newNumber := parent.Number + 1
+	var lo uint64
+	if newNumber > MaxUncleDepth {
+		lo = newNumber - MaxUncleDepth
+	}
+	var out []types.Hash
+	for height := lo; height < newNumber && len(out) < max; height++ {
+		hashes := v.byHeight[height]
+		for _, h := range hashes {
+			if len(out) >= max {
+				break
+			}
+			b, ok := v.reg.Get(h)
+			if !ok {
+				continue
+			}
+			if v.reg.ValidUncle(b, parent) {
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// KnownAtHeight returns the hashes the view tracks at a height
+// (diagnostics and tests).
+func (v *View) KnownAtHeight(n uint64) []types.Hash {
+	out := make([]types.Hash, len(v.byHeight[n]))
+	copy(out, v.byHeight[n])
+	return out
+}

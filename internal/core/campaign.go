@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/logs"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/mining"
+	"ethmeasure/internal/p2p"
+	"ethmeasure/internal/sim"
+	"ethmeasure/internal/simnet"
+	"ethmeasure/internal/txgen"
+	"ethmeasure/internal/types"
+)
+
+// RunStats captures bookkeeping about a finished campaign.
+type RunStats struct {
+	VirtualDuration time.Duration
+	WallDuration    time.Duration
+	Events          uint64
+	Messages        uint64
+	BlocksCreated   int
+	TxsCreated      int
+	Nodes           int
+}
+
+// Results bundles the dataset and every per-figure analysis of one
+// campaign. Analyses that need the transaction workload are nil when
+// it was disabled.
+type Results struct {
+	Dataset *analysis.Dataset
+	Stats   RunStats
+
+	Propagation *analysis.PropagationResult      // Figure 1
+	Redundancy  *analysis.RedundancyResult       // Table II
+	FirstObs    *analysis.FirstObservationResult // Figure 2
+	PoolGeo     *analysis.PoolGeographyResult    // Figure 3
+	Commit      *analysis.CommitTimeResult       // Figure 4
+	Ordering    *analysis.OrderingResult         // Figure 5
+	Empty       *analysis.EmptyBlocksResult      // Figure 6
+	Forks       *analysis.ForksResult            // Table III
+	OneMiner    *analysis.OneMinerForksResult    // §III-C5
+	Sequences   *analysis.SequencesResult        // Figure 7
+	TxProp      *analysis.TxPropagationResult    // §III-A1
+
+	// Extension analyses beyond the paper's figures.
+	Rewards     *analysis.RewardsResult     // §V: uncle/one-miner-fork profit
+	Finality    *analysis.FinalityResult    // §III-D: k-block rule safety
+	Throughput  *analysis.ThroughputResult  // §V: wasted resources
+	InterBlock  *analysis.InterBlockResult  // §III-C1: block intervals
+	Withholding *analysis.WithholdingResult // §III-D: burst-publication forensic
+	GeoDelay    *analysis.GeoDelayResult    // Figure 1 drill-down per vantage
+	FeeMarket   *analysis.FeeMarketResult   // fee vs inclusion-delay bands
+}
+
+// Campaign is one configured measurement run.
+type Campaign struct {
+	cfg Config
+
+	engine   *sim.Engine
+	network  *simnet.Network
+	registry *chain.Registry
+	store    *txgen.Store
+	recorder *measure.MemoryRecorder
+	miner    *mining.Miner
+	gen      *txgen.Generator
+	churn    *churnDriver
+	vantages []*measure.Vantage
+	regular  []*p2p.Node
+	gateways [][]*p2p.Node
+}
+
+// NewCampaign validates the configuration and builds the full system:
+// network, topology, pool gateways, vantages, workloads.
+func NewCampaign(cfg Config) (*Campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Campaign{cfg: cfg}
+	if err := c.build(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Campaign) build() error {
+	cfg := &c.cfg
+	c.engine = sim.NewEngine(cfg.Seed)
+	c.network = simnet.New(c.engine, cfg.Latency)
+	blockIssuer := types.NewHashIssuer(1)
+	c.registry = chain.NewRegistry(cfg.GenesisNumber, blockIssuer)
+	c.store = txgen.NewStore()
+	c.recorder = measure.NewMemoryRecorder()
+
+	placeRNG := c.engine.RNG("placement")
+	speedRNG := c.engine.RNG("procspeed")
+
+	// Regular nodes, with mixed hardware speeds.
+	for i := 0; i < cfg.NumNodes; i++ {
+		region := cfg.NodeDistribution.Sample(placeRNG)
+		endpoint, err := c.network.AddNode(region, cfg.NodeBandwidth)
+		if err != nil {
+			return err
+		}
+		node := p2p.NewNode(&cfg.P2P, c.network, endpoint, c.registry)
+		lo, hi := cfg.NodeProcSpeedMin, cfg.NodeProcSpeedMax
+		if hi > lo {
+			node.SetProcSpeed(lo + speedRNG.Float64()*(hi-lo))
+		} else if lo > 0 {
+			node.SetProcSpeed(lo)
+		}
+		c.regular = append(c.regular, node)
+	}
+	buildTopology := p2p.BuildRandomTopology
+	if cfg.UseDiscovery {
+		buildTopology = p2p.BuildDiscoveryTopology
+	}
+	if err := buildTopology(c.engine.RNG("topology"), c.regular, cfg.OutDegree); err != nil {
+		return err
+	}
+
+	// Pool gateways: one node per configured region per pool, dialing
+	// into the regular population. Pools run capable hardware.
+	var allGateways []*p2p.Node
+	for i := range cfg.Pools {
+		spec := &cfg.Pools[i]
+		var gws []*p2p.Node
+		for _, region := range spec.Gateways {
+			endpoint, err := c.network.AddNode(region, cfg.GatewayBandwidth)
+			if err != nil {
+				return err
+			}
+			gw := p2p.NewNode(&cfg.P2P, c.network, endpoint, c.registry)
+			gw.SetProcSpeed(cfg.GatewayProcSpeed)
+			p2p.ConnectToRandom(c.engine.RNG("topology"), gw, c.regular, cfg.GatewayPeers)
+			gws = append(gws, gw)
+		}
+		c.gateways = append(c.gateways, gws)
+		allGateways = append(allGateways, gws...)
+	}
+
+	// Measurement vantages. Primary vantages run "unlimited peers" and
+	// therefore also end up adjacent to a share of pool gateway nodes;
+	// auxiliary vantages model default clients and do not.
+	clockRNG := c.engine.RNG("clock")
+	topoRNG := c.engine.RNG("topology")
+	for _, vs := range cfg.Vantages {
+		endpoint, err := c.network.AddNode(vs.Region, cfg.VantageBandwidth)
+		if err != nil {
+			return err
+		}
+		node := p2p.NewNode(&cfg.P2P, c.network, endpoint, c.registry)
+		node.SetProcSpeed(cfg.VantageProcSpeed)
+		peers := vs.Peers
+		if peers > len(c.regular) {
+			peers = len(c.regular)
+		}
+		p2p.ConnectToRandom(topoRNG, node, c.regular, peers)
+		if !vs.Auxiliary && cfg.VantageGatewayFraction > 0 {
+			k := int(cfg.VantageGatewayFraction*float64(len(allGateways)) + 0.5)
+			p2p.ConnectToRandom(topoRNG, node, allGateways, k)
+		}
+		vantage := measure.NewVantage(vs.Name, cfg.Clock, clockRNG.Int63(), c.recorder)
+		node.Observer = vantage
+		c.vantages = append(c.vantages, vantage)
+	}
+
+	// Mining subsystem.
+	miner, err := mining.NewMiner(
+		cfg.Mining, c.engine, c.registry, cfg.Pools, c.gateways,
+		blockIssuer, c.store.Get,
+	)
+	if err != nil {
+		return err
+	}
+	c.miner = miner
+
+	// Transaction workload. The mempool-floor controller observes
+	// inclusion through the miner's block hook.
+	if cfg.EnableTxWorkload {
+		txIssuer := types.NewHashIssuer(2)
+		gen, err := txgen.New(cfg.TxGen, c.engine, c.regular, cfg.SenderDistribution, txIssuer, c.store)
+		if err != nil {
+			return err
+		}
+		c.gen = gen
+		c.miner.OnBlockMined = func(b *types.Block, _ *mining.Pool) {
+			gen.NoteIncluded(b.TxHashes)
+		}
+	}
+
+	// Peer churn over the regular population.
+	if cfg.Churn.Interval > 0 {
+		c.churn = newChurnDriver(cfg.Churn, c.engine, c.regular, cfg.OutDegree)
+	}
+
+	// Optional selfish block-withholding attack on one pool.
+	if cfg.WithholdingPool != "" {
+		if !c.miner.ConfigureWithholding(cfg.WithholdingPool, cfg.WithholdDepth) {
+			return fmt.Errorf("core: cannot attach withholding to pool %q (depth %d)",
+				cfg.WithholdingPool, cfg.WithholdDepth)
+		}
+	}
+	return nil
+}
+
+// Engine exposes the simulation engine (tests and diagnostics).
+func (c *Campaign) Engine() *sim.Engine { return c.engine }
+
+// Registry exposes the global block registry.
+func (c *Campaign) Registry() *chain.Registry { return c.registry }
+
+// Store exposes the transaction store.
+func (c *Campaign) Store() *txgen.Store { return c.store }
+
+// Recorder exposes the collected measurement records.
+func (c *Campaign) Recorder() *measure.MemoryRecorder { return c.recorder }
+
+// Miner exposes the mining subsystem.
+func (c *Campaign) Miner() *mining.Miner { return c.miner }
+
+// Run executes the campaign and returns the analyzed results.
+func (c *Campaign) Run() (*Results, error) {
+	start := time.Now()
+	c.miner.Start(c.cfg.Duration)
+	if c.gen != nil {
+		c.gen.Start(c.cfg.Duration)
+	}
+	if c.churn != nil {
+		c.churn.Start(c.cfg.Duration)
+	}
+	if _, err := c.engine.Run(c.cfg.Duration); err != nil {
+		return nil, fmt.Errorf("core: simulation: %w", err)
+	}
+
+	dataset := c.Dataset()
+	res := &Results{
+		Dataset: dataset,
+		Stats: RunStats{
+			VirtualDuration: c.cfg.Duration,
+			WallDuration:    time.Since(start),
+			Events:          c.engine.EventsRun(),
+			Messages:        c.network.Delivered(),
+			BlocksCreated:   c.registry.Len() - 1,
+			TxsCreated:      c.store.Len(),
+			Nodes:           c.network.NumNodes(),
+		},
+	}
+	if err := c.analyze(dataset, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Dataset assembles the analysis dataset from collected state. Only
+// primary (non-auxiliary) vantages participate in first-observation
+// and delay analyses.
+func (c *Campaign) Dataset() *analysis.Dataset {
+	names := make([]string, 0, len(c.cfg.Vantages))
+	for _, v := range c.cfg.Vantages {
+		if v.Auxiliary {
+			continue
+		}
+		names = append(names, v.Name)
+	}
+	return &analysis.Dataset{
+		Vantages:   names,
+		Blocks:     c.recorder.Blocks,
+		Txs:        c.recorder.Txs,
+		Chain:      c.registry,
+		PoolNames:  c.cfg.PoolNames(),
+		InterBlock: c.cfg.Mining.InterBlockTime,
+		Duration:   c.cfg.Duration,
+	}
+}
+
+// LogMeta builds the metadata entry for campaign log files, letting
+// cmd/ethanalyze reconstruct the analysis context from a log alone.
+func (c *Campaign) LogMeta() *logs.Meta {
+	meta := &logs.Meta{
+		PoolNames:         c.cfg.PoolNames(),
+		RedundancyVantage: c.cfg.RedundancyVantage,
+		InterBlockNs:      int64(c.cfg.Mining.InterBlockTime),
+		DurationNs:        int64(c.cfg.Duration),
+		NetworkSize:       c.network.NumNodes(),
+		Seed:              c.cfg.Seed,
+	}
+	for _, v := range c.cfg.Vantages {
+		if !v.Auxiliary {
+			meta.Vantages = append(meta.Vantages, v.Name)
+		}
+	}
+	return meta
+}
+
+// WriteLogs persists the campaign's records, chain dump and metadata to
+// a JSONL file compatible with cmd/ethanalyze.
+func (c *Campaign) WriteLogs(path string) error {
+	return logs.WriteCampaignFile(path, c.LogMeta(), c.recorder.Blocks, c.recorder.Txs, c.registry)
+}
+
+func (c *Campaign) analyze(dataset *analysis.Dataset, res *Results) error {
+	var err error
+	res.Propagation, err = analysis.BlockPropagation(dataset)
+	if err != nil {
+		return fmt.Errorf("core: propagation analysis: %w", err)
+	}
+	if c.cfg.RedundancyVantage != "" {
+		res.Redundancy, err = analysis.Redundancy(dataset, c.cfg.RedundancyVantage, c.network.NumNodes())
+		if err != nil {
+			return fmt.Errorf("core: redundancy analysis: %w", err)
+		}
+	}
+	res.FirstObs = analysis.FirstObservation(dataset)
+	res.PoolGeo = analysis.PoolGeography(dataset, 15)
+	res.Empty = analysis.EmptyBlocks(dataset, 15)
+	res.Forks = analysis.Forks(dataset)
+	res.OneMiner = analysis.OneMinerForks(dataset, res.Forks)
+	res.Sequences = analysis.Sequences(dataset, 6)
+	res.Rewards = analysis.Rewards(dataset)
+	res.Finality = analysis.Finality(dataset, 14)
+	res.Throughput = analysis.Throughput(dataset)
+	res.InterBlock = analysis.InterBlock(dataset)
+	res.Withholding = analysis.Withholding(dataset)
+	res.GeoDelay = analysis.GeoDelay(dataset)
+	if c.cfg.EnableTxWorkload {
+		res.Commit = analysis.CommitTimes(dataset)
+		res.Ordering = analysis.TransactionOrdering(dataset)
+		res.TxProp = analysis.TxPropagation(dataset)
+		res.FeeMarket = analysis.FeeMarket(dataset, func(h types.Hash) (uint64, bool) {
+			tx := c.store.Get(h)
+			if tx == nil {
+				return 0, false
+			}
+			return tx.GasPrice, true
+		})
+	}
+	return nil
+}
+
+// VantageRegionName returns the display name used for a vantage region
+// in the paper's figures ("Eastern Asia", ...).
+func VantageRegionName(r geo.Region) string { return r.String() }

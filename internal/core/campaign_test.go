@@ -1,0 +1,375 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ethmeasure/internal/types"
+)
+
+// tinyConfig returns the smallest campaign that exercises every
+// subsystem, for fast integration tests.
+func tinyConfig() Config {
+	cfg := QuickConfig()
+	cfg.Duration = 10 * time.Minute
+	cfg.NumNodes = 60
+	cfg.OutDegree = 5
+	for i := range cfg.Vantages {
+		if cfg.Vantages[i].Peers > 20 {
+			cfg.Vantages[i].Peers = 20
+		}
+	}
+	cfg.TxGen.Rate = 0.3
+	cfg.TxGen.NumAccounts = 100
+	applyCapacity(&cfg)
+	return cfg
+}
+
+func TestCampaignEndToEnd(t *testing.T) {
+	campaign, err := NewCampaign(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Stats.BlocksCreated < 20 {
+		t.Errorf("blocks = %d over 10 virtual minutes", res.Stats.BlocksCreated)
+	}
+	if res.Stats.TxsCreated == 0 {
+		t.Error("no transactions generated")
+	}
+	if res.Stats.Events == 0 || res.Stats.Messages == 0 {
+		t.Error("no events/messages simulated")
+	}
+
+	// Every analyzer must be populated.
+	if res.Propagation == nil || res.Propagation.Blocks == 0 {
+		t.Error("propagation analysis empty")
+	}
+	if res.Redundancy == nil || res.Redundancy.Blocks == 0 {
+		t.Error("redundancy analysis empty")
+	}
+	if res.FirstObs == nil || res.FirstObs.Blocks == 0 {
+		t.Error("first-observation analysis empty")
+	}
+	if res.PoolGeo == nil || len(res.PoolGeo.Rows) == 0 {
+		t.Error("pool geography empty")
+	}
+	if res.Commit == nil || res.Commit.CommittedTxs == 0 {
+		t.Error("commit analysis empty")
+	}
+	if res.Ordering == nil || res.Ordering.CommittedTxs == 0 {
+		t.Error("ordering analysis empty")
+	}
+	if res.Empty == nil || res.Empty.MainBlocks == 0 {
+		t.Error("empty-blocks analysis empty")
+	}
+	if res.Forks == nil || res.Forks.TotalBlocks == 0 {
+		t.Error("forks analysis empty")
+	}
+	if res.OneMiner == nil {
+		t.Error("one-miner analysis nil")
+	}
+	if res.Sequences == nil || res.Sequences.MainBlocks == 0 {
+		t.Error("sequences analysis empty")
+	}
+	if res.TxProp == nil || res.TxProp.Txs == 0 {
+		t.Error("tx propagation analysis empty")
+	}
+
+	// Propagation sanity: delays well under the inter-block time.
+	if res.Propagation.MeanMs > 2000 {
+		t.Errorf("mean propagation %fms implausible", res.Propagation.MeanMs)
+	}
+	// Shares sum to 1 over primary vantages.
+	total := 0.0
+	for _, v := range res.FirstObs.Vantages {
+		total += res.FirstObs.Shares[v]
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("first-observation shares sum to %f", total)
+	}
+}
+
+func TestCampaignDeterministicAcrossRuns(t *testing.T) {
+	run := func() (*Results, []types.Hash) {
+		campaign, err := NewCampaign(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := campaign.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hashes []types.Hash
+		campaign.Registry().Blocks(func(b *types.Block) bool {
+			hashes = append(hashes, b.Hash)
+			return true
+		})
+		return res, hashes
+	}
+	resA, chainA := run()
+	resB, chainB := run()
+	if len(chainA) != len(chainB) {
+		t.Fatalf("chain lengths differ: %d vs %d", len(chainA), len(chainB))
+	}
+	for i := range chainA {
+		if chainA[i] != chainB[i] {
+			t.Fatalf("chains diverge at %d", i)
+		}
+	}
+	if resA.Stats.Events != resB.Stats.Events {
+		t.Errorf("event counts differ: %d vs %d", resA.Stats.Events, resB.Stats.Events)
+	}
+	if len(resA.Dataset.Blocks) != len(resB.Dataset.Blocks) {
+		t.Error("record counts differ")
+	}
+}
+
+func TestCampaignSeedChangesOutcome(t *testing.T) {
+	cfgA := tinyConfig()
+	cfgB := tinyConfig()
+	cfgB.Seed = 999
+	runEvents := func(cfg Config) uint64 {
+		campaign, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := campaign.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Events
+	}
+	if runEvents(cfgA) == runEvents(cfgB) {
+		t.Error("different seeds produced identical event counts (suspicious)")
+	}
+}
+
+func TestCampaignWithoutTxWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.EnableTxWorkload = false
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TxsCreated != 0 {
+		t.Error("txs generated despite disabled workload")
+	}
+	if res.Commit != nil || res.Ordering != nil || res.TxProp != nil {
+		t.Error("tx analyses must be nil without workload")
+	}
+	if res.Propagation == nil || res.Propagation.Blocks == 0 {
+		t.Error("block analyses must still run")
+	}
+}
+
+func TestCampaignAuxiliaryVantageExcluded(t *testing.T) {
+	campaign, err := NewCampaign(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Dataset.Vantages {
+		if v == "WE-default" {
+			t.Error("auxiliary vantage leaked into primary set")
+		}
+	}
+	if len(res.Dataset.Vantages) != 4 {
+		t.Errorf("primary vantages = %v", res.Dataset.Vantages)
+	}
+	// But its records must exist for the redundancy analysis.
+	found := false
+	for i := range res.Dataset.Blocks {
+		if res.Dataset.Blocks[i].Vantage == "WE-default" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("auxiliary vantage records missing")
+	}
+}
+
+func TestCampaignRejectsInvalidConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumNodes = 3
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCampaignForkRateInPaperRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("longer statistical run")
+	}
+	cfg := tinyConfig()
+	cfg.Duration = time.Hour
+	cfg.EnableTxWorkload = false
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 92.81% of blocks on the main chain. Small runs are noisy;
+	// accept a broad band around it.
+	if res.Forks.MainShare < 0.85 || res.Forks.MainShare > 0.99 {
+		t.Errorf("main share = %.3f, want ≈0.93", res.Forks.MainShare)
+	}
+}
+
+func TestCampaignWithChurn(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.EnableTxWorkload = false
+	cfg.Churn = DefaultChurnConfig()
+	cfg.Churn.Interval = 30 * time.Second // aggressive for a short run
+	cfg.Churn.DowntimeMean = time.Minute
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaign.churn == nil || campaign.churn.Events() == 0 {
+		t.Fatal("no churn events over 10 virtual minutes at 30s interval")
+	}
+	// The network must keep functioning: blocks still propagate to
+	// all vantages and the chain still grows.
+	if res.Propagation.Blocks == 0 {
+		t.Error("no blocks observed under churn")
+	}
+	if res.Stats.BlocksCreated < 20 {
+		t.Errorf("chain stalled under churn: %d blocks", res.Stats.BlocksCreated)
+	}
+	if res.Propagation.MedianMs <= 0 || res.Propagation.MedianMs > 2000 {
+		t.Errorf("propagation degenerated under churn: %.0fms median", res.Propagation.MedianMs)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	run := func() int {
+		cfg := tinyConfig()
+		cfg.EnableTxWorkload = false
+		cfg.Churn = ChurnConfig{Interval: 20 * time.Second, DowntimeMean: time.Minute}
+		campaign, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := campaign.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return campaign.churn.Events()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("churn events differ across identical runs: %d vs %d", a, b)
+	}
+}
+
+func TestCampaignWithDiscoveryTopology(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.UseDiscovery = true
+	cfg.EnableTxWorkload = false
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Propagation.Blocks == 0 {
+		t.Error("no blocks observed with discovery topology")
+	}
+	// Geography-blindness: EA should still enjoy the gateway advantage
+	// (topology choice must not change the Figure 2 mechanism).
+	if res.FirstObs.Shares["EA"] <= res.FirstObs.Shares["NA"] {
+		t.Error("EA advantage lost under discovery topology")
+	}
+}
+
+func TestCampaignWithholdingDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("longer statistical run")
+	}
+	cfg := tinyConfig()
+	cfg.Duration = 45 * time.Minute
+	cfg.EnableTxWorkload = false
+	cfg.WithholdingPool = "Ethermine"
+	cfg.WithholdDepth = 3
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's burst releases must show up in the forensic.
+	var attacker *struct {
+		seq, burst int
+	}
+	for _, row := range res.Withholding.Rows {
+		if row.Pool == "Ethermine" {
+			attacker = &struct{ seq, burst int }{row.Sequences, row.BurstSequences}
+		}
+	}
+	if attacker == nil || attacker.seq == 0 {
+		t.Fatal("withholding pool produced no sequences")
+	}
+	if attacker.burst == 0 {
+		t.Error("no burst releases detected despite withholding attack")
+	}
+	found := false
+	for _, s := range res.Withholding.Suspects {
+		if s == "Ethermine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("attacker not flagged; forensic rows: %+v", res.Withholding.Rows)
+	}
+}
+
+func TestCampaignHonestPoolsNotFlagged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("longer statistical run")
+	}
+	cfg := tinyConfig()
+	cfg.Duration = time.Hour
+	cfg.EnableTxWorkload = false
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Withholding.Suspects) != 0 {
+		t.Errorf("honest run flagged suspects: %v", res.Withholding.Suspects)
+	}
+}
+
+func TestCampaignWithholdingConfigValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.WithholdingPool = "NoSuchPool"
+	cfg.WithholdDepth = 3
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("unknown withholding pool accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"time"
+
+	"ethmeasure/internal/p2p"
+	"ethmeasure/internal/sim"
+)
+
+// ChurnConfig models node churn: public Ethereum deployments see
+// constant peer turnover (Kim et al., IMC'18, measured short node
+// sessions across the network). A churn event restarts one random
+// regular node: all its connections drop, and after a downtime it
+// re-dials a fresh random peer set — exactly what a relaunched Geth
+// does. Vantages and pool gateways are long-lived and never churn.
+type ChurnConfig struct {
+	// Interval is the mean time between churn events (exponentially
+	// distributed). Zero disables churn.
+	Interval time.Duration
+
+	// DowntimeMean is the mean offline period before the node rejoins.
+	DowntimeMean time.Duration
+
+	// RedialPeers is how many peers a rejoining node dials (0 = the
+	// campaign's OutDegree).
+	RedialPeers int
+}
+
+// DefaultChurnConfig returns a mild churn profile: one restart every
+// two minutes with five-minute downtimes, roughly 12% of a 220-node
+// population cycling per hour.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Interval:     2 * time.Minute,
+		DowntimeMean: 5 * time.Minute,
+	}
+}
+
+// churnDriver restarts random regular nodes on the engine.
+type churnDriver struct {
+	cfg     ChurnConfig
+	engine  *sim.Engine
+	nodes   []*p2p.Node
+	degree  int
+	horizon sim.Time
+	down    map[int]bool // node index -> currently offline
+	events  int
+}
+
+func newChurnDriver(cfg ChurnConfig, engine *sim.Engine, nodes []*p2p.Node, degree int) *churnDriver {
+	if cfg.RedialPeers > 0 {
+		degree = cfg.RedialPeers
+	}
+	return &churnDriver{
+		cfg:    cfg,
+		engine: engine,
+		nodes:  nodes,
+		degree: degree,
+		down:   make(map[int]bool),
+	}
+}
+
+// Start schedules churn events until the horizon.
+func (c *churnDriver) Start(horizon sim.Time) {
+	if c.cfg.Interval <= 0 {
+		return
+	}
+	c.horizon = horizon
+	c.scheduleNext()
+}
+
+// Events returns how many restarts occurred.
+func (c *churnDriver) Events() int { return c.events }
+
+func (c *churnDriver) scheduleNext() {
+	rng := c.engine.RNG("churn")
+	wait := sim.ExpDuration(rng, c.cfg.Interval)
+	if c.engine.Now()+wait > c.horizon {
+		return
+	}
+	c.engine.After(wait, func() {
+		c.restartOne()
+		c.scheduleNext()
+	})
+}
+
+func (c *churnDriver) restartOne() {
+	rng := c.engine.RNG("churn")
+	// Pick an online node; give up after a few tries if most are down.
+	for attempt := 0; attempt < 8; attempt++ {
+		idx := rng.Intn(len(c.nodes))
+		if c.down[idx] {
+			continue
+		}
+		node := c.nodes[idx]
+		node.DisconnectAll()
+		c.down[idx] = true
+		c.events++
+		downtime := sim.ExpDuration(rng, c.cfg.DowntimeMean)
+		c.engine.After(downtime, func() {
+			c.down[idx] = false
+			p2p.ConnectToRandom(rng, node, c.nodes, c.degree)
+		})
+		return
+	}
+}

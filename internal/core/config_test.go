@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ethmeasure/internal/geo"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"default": DefaultConfig(),
+		"quick":   QuickConfig(),
+		"paper":   PaperScaleConfig(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"too few nodes", func(c *Config) { c.NumNodes = 5 }},
+		{"bad out-degree", func(c *Config) { c.OutDegree = 0 }},
+		{"degree >= nodes", func(c *Config) { c.OutDegree = c.NumNodes }},
+		{"zero node bandwidth", func(c *Config) { c.NodeBandwidth = 0 }},
+		{"zero gateway bandwidth", func(c *Config) { c.GatewayBandwidth = 0 }},
+		{"nil latency", func(c *Config) { c.Latency = nil }},
+		{"nil node distribution", func(c *Config) { c.NodeDistribution = nil }},
+		{"no pools", func(c *Config) { c.Pools = nil }},
+		{"invalid pool", func(c *Config) { c.Pools[0].Power = 5 }},
+		{"no vantages", func(c *Config) { c.Vantages = nil }},
+		{"unnamed vantage", func(c *Config) { c.Vantages[0].Name = "" }},
+		{"duplicate vantage", func(c *Config) { c.Vantages[1].Name = c.Vantages[0].Name }},
+		{"zero vantage peers", func(c *Config) { c.Vantages[0].Peers = 0 }},
+		{"bad vantage region", func(c *Config) { c.Vantages[0].Region = geo.Region(0) }},
+		{"unknown redundancy vantage", func(c *Config) { c.RedundancyVantage = "nope" }},
+		{"tx workload without rate", func(c *Config) { c.TxGen.Rate = 0 }},
+		{"tx workload without senders", func(c *Config) { c.SenderDistribution = nil }},
+	}
+	for _, tt := range mutations {
+		cfg := DefaultConfig()
+		tt.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tt.name)
+		}
+	}
+}
+
+func TestValidateAllowsDisabledTxWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableTxWorkload = false
+	cfg.TxGen.Rate = 0
+	cfg.SenderDistribution = nil
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("disabled workload should not require tx settings: %v", err)
+	}
+}
+
+func TestDeriveBlockCapacity(t *testing.T) {
+	// 8.2 tx/s × 13.3s / 0.8 ≈ 137.
+	got := DeriveBlockCapacity(8.2, 13300*time.Millisecond, 0.8)
+	if got < 136 || got > 138 {
+		t.Errorf("capacity = %d, want ≈137", got)
+	}
+	if DeriveBlockCapacity(0, time.Second, 0.8) != 1 {
+		t.Error("degenerate inputs must floor at 1")
+	}
+	if DeriveBlockCapacity(0.001, 13300*time.Millisecond, 0.8) != 1 {
+		t.Error("tiny rates must floor at 1")
+	}
+}
+
+func TestApplyCapacitySetsFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Mining.BlockCapacity <= 0 {
+		t.Fatal("capacity not derived")
+	}
+	if cfg.TxGen.MempoolFloor != cfg.Mining.BlockCapacity*3/2 {
+		t.Errorf("floor = %d for capacity %d", cfg.TxGen.MempoolFloor, cfg.Mining.BlockCapacity)
+	}
+}
+
+func TestPoolNames(t *testing.T) {
+	cfg := DefaultConfig()
+	names := cfg.PoolNames()
+	if len(names) != len(cfg.Pools) {
+		t.Fatalf("names = %d", len(names))
+	}
+	if names[0] != "Ethermine" {
+		t.Errorf("names[0] = %q", names[0])
+	}
+}
+
+func TestPresetScalesDiffer(t *testing.T) {
+	q, d, p := QuickConfig(), DefaultConfig(), PaperScaleConfig()
+	if !(q.NumNodes < d.NumNodes && d.NumNodes < p.NumNodes) {
+		t.Error("node counts should grow quick < default < paper")
+	}
+	if !(q.Duration < d.Duration && d.Duration < p.Duration) {
+		t.Error("durations should grow quick < default < paper")
+	}
+	if p.Duration != 30*24*time.Hour {
+		t.Errorf("paper duration = %v, want one month", p.Duration)
+	}
+}
+
+func TestDefaultConfigMatchesPaperSetup(t *testing.T) {
+	cfg := DefaultConfig()
+	// Four primary vantages in the paper's regions + the default-peers
+	// subsidiary node.
+	primary := 0
+	var aux *VantageSpec
+	for i := range cfg.Vantages {
+		if cfg.Vantages[i].Auxiliary {
+			aux = &cfg.Vantages[i]
+			continue
+		}
+		primary++
+	}
+	if primary != 4 {
+		t.Errorf("primary vantages = %d, want 4", primary)
+	}
+	if aux == nil || aux.Peers != 25 {
+		t.Error("subsidiary redundancy node must run Geth's default 25 peers")
+	}
+	if cfg.RedundancyVantage != aux.Name {
+		t.Error("redundancy analysis must target the subsidiary node")
+	}
+	if cfg.Mining.InterBlockTime != 13300*time.Millisecond {
+		t.Errorf("inter-block time = %v, paper measured 13.3s", cfg.Mining.InterBlockTime)
+	}
+	if cfg.GenesisNumber != 7_479_573 {
+		t.Errorf("genesis = %d, paper campaign started at 7,479,573", cfg.GenesisNumber)
+	}
+}
+
+func TestLogMetaReflectsConfig(t *testing.T) {
+	cfg := QuickConfig()
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := campaign.LogMeta()
+	if len(meta.Vantages) != 4 {
+		t.Errorf("meta vantages = %v (auxiliary must be excluded)", meta.Vantages)
+	}
+	if meta.RedundancyVantage != "WE-default" {
+		t.Errorf("redundancy vantage = %q", meta.RedundancyVantage)
+	}
+	if len(meta.PoolNames) != len(cfg.Pools) {
+		t.Errorf("pool names = %d", len(meta.PoolNames))
+	}
+	if meta.NetworkSize <= cfg.NumNodes {
+		t.Errorf("network size %d should include gateways and vantages", meta.NetworkSize)
+	}
+	if meta.Seed != cfg.Seed || meta.DurationNs != int64(cfg.Duration) {
+		t.Error("meta timing fields wrong")
+	}
+}

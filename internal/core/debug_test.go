@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/types"
+)
+
+// TestDebugStalledTxs is a diagnostic: it finds transactions whose
+// inclusion lags their creation badly and reports why.
+func TestDebugStalledTxs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	cfg := QuickConfig()
+	cfg.Duration = 30 * time.Minute
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reg := campaign.Registry()
+	store := campaign.Store()
+
+	// Inclusion time per tx from main chain.
+	incl := make(map[types.Hash]time.Duration)
+	for _, b := range reg.MainChain() {
+		for _, h := range b.TxHashes {
+			incl[h] = b.MinedAt
+		}
+	}
+	type lag struct {
+		tx    *types.Transaction
+		delay time.Duration
+	}
+	var lags []lag
+	uncommitted := 0
+	store.All(func(tx *types.Transaction) bool {
+		at, ok := incl[tx.Hash]
+		if !ok {
+			uncommitted++
+			return true
+		}
+		lags = append(lags, lag{tx, at - tx.Created})
+		return true
+	})
+	sort.Slice(lags, func(i, j int) bool { return lags[i].delay > lags[j].delay })
+	t.Logf("committed=%d uncommitted=%d", len(lags), uncommitted)
+	for i := 0; i < 10 && i < len(lags); i++ {
+		tx := lags[i].tx
+		t.Logf("stalled: delay=%v sender=%d nonce=%d price=%d created=%v",
+			lags[i].delay, tx.Sender, tx.Nonce, tx.GasPrice, tx.Created)
+	}
+	// For the worst sender, dump its whole nonce timeline.
+	if len(lags) > 0 {
+		worst := lags[0].tx.Sender
+		var txs []*types.Transaction
+		store.All(func(tx *types.Transaction) bool {
+			if tx.Sender == worst {
+				txs = append(txs, tx)
+			}
+			return true
+		})
+		sort.Slice(txs, func(i, j int) bool { return txs[i].Nonce < txs[j].Nonce })
+		for _, tx := range txs {
+			at, ok := incl[tx.Hash]
+			t.Logf("sender=%d nonce=%d created=%v incl=%v ok=%v price=%d",
+				worst, tx.Nonce, tx.Created.Round(time.Second), at.Round(time.Second), ok, tx.GasPrice)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/types"
+)
+
+// TestDebugStarvedBlocks diagnoses empty blocks that were not mined
+// empty by policy.
+func TestDebugStarvedBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	cfg := QuickConfig()
+	cfg.Duration = time.Hour
+	campaign, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := campaign.Miner()
+	t.Logf("mined=%d byPolicy=%d starved=%d", m.Mined(), m.EmptyByPolicy(), m.EmptyStarved())
+
+	var empties []*types.Block
+	campaign.Registry().Blocks(func(b *types.Block) bool {
+		if b.Empty() && b.Miner != 0 {
+			empties = append(empties, b)
+		}
+		return true
+	})
+	sort.Slice(empties, func(i, j int) bool { return empties[i].MinedAt < empties[j].MinedAt })
+	for _, b := range empties {
+		t.Logf("empty block at t=%v height=%d miner=%d", b.MinedAt.Round(time.Second), b.Number, b.Miner)
+	}
+}

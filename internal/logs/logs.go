@@ -1,0 +1,305 @@
+// Package logs implements the on-disk log pipeline: measurement
+// records and the block registry serialize to JSON Lines files (one
+// JSON object per line), mirroring how the paper's instrumented Geth
+// wrote each observation to a dedicated log with a local timestamp and
+// post-processed the files offline.
+package logs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/types"
+)
+
+// Entry is one log line: a tagged union of record types.
+type Entry struct {
+	Kind  string               `json:"kind"` // "meta" | "block" | "tx" | "chain"
+	Meta  *Meta                `json:"meta,omitempty"`
+	Block *measure.BlockRecord `json:"block,omitempty"`
+	Tx    *measure.TxRecord    `json:"tx,omitempty"`
+	Chain *ChainBlock          `json:"chain,omitempty"`
+}
+
+// Entry kinds.
+const (
+	KindMeta  = "meta"
+	KindBlock = "block"
+	KindTx    = "tx"
+	KindChain = "chain"
+)
+
+// Meta carries campaign metadata the analysis pipeline needs beyond the
+// raw records: pool-name mapping, vantage roles and timing parameters.
+type Meta struct {
+	PoolNames         []string `json:"pools"`
+	Vantages          []string `json:"vantages"` // primary, presentation order
+	RedundancyVantage string   `json:"redundancyVantage,omitempty"`
+	InterBlockNs      int64    `json:"interBlockNs"`
+	DurationNs        int64    `json:"durationNs"`
+	NetworkSize       int      `json:"networkSize"`
+	Seed              int64    `json:"seed"`
+}
+
+// ChainBlock is the serialized form of a registry block (the "chain
+// dump" the analysis needs to classify forks and uncles).
+type ChainBlock struct {
+	Hash      types.Hash   `json:"h"`
+	Number    uint64       `json:"n"`
+	Parent    types.Hash   `json:"p"`
+	Miner     types.PoolID `json:"m"`
+	TxHashes  []types.Hash `json:"x,omitempty"`
+	Uncles    []types.Hash `json:"u,omitempty"`
+	TotalDiff uint64       `json:"d"`
+	MinedAtNs int64        `json:"t"`
+	Size      int          `json:"s"`
+}
+
+// Writer streams entries to an io.Writer as JSON Lines. It implements
+// measure.Recorder, so a vantage can log straight to disk.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int
+}
+
+var _ measure.Recorder = (*Writer)(nil)
+
+// NewWriter wraps w in a JSONL log writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one entry.
+func (w *Writer) Write(e *Entry) {
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(e); err != nil {
+		w.err = fmt.Errorf("logs: encode entry: %w", err)
+		return
+	}
+	w.n++
+}
+
+// RecordBlock implements measure.Recorder.
+func (w *Writer) RecordBlock(r measure.BlockRecord) {
+	w.Write(&Entry{Kind: KindBlock, Block: &r})
+}
+
+// RecordTx implements measure.Recorder.
+func (w *Writer) RecordTx(r measure.TxRecord) {
+	w.Write(&Entry{Kind: KindTx, Tx: &r})
+}
+
+// Entries returns how many entries were written.
+func (w *Writer) Entries() int { return w.n }
+
+// Flush drains buffered output and returns the first error seen.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// WriteChain dumps every block in the registry (including genesis) to w.
+func WriteChain(w *Writer, reg *chain.Registry) {
+	reg.Blocks(func(b *types.Block) bool {
+		w.Write(&Entry{Kind: KindChain, Chain: &ChainBlock{
+			Hash:      b.Hash,
+			Number:    b.Number,
+			Parent:    b.ParentHash,
+			Miner:     b.Miner,
+			TxHashes:  b.TxHashes,
+			Uncles:    b.Uncles,
+			TotalDiff: b.TotalDiff,
+			MinedAtNs: int64(b.MinedAt),
+			Size:      b.Size,
+		}})
+		return true
+	})
+}
+
+// Reader streams entries from an io.Reader.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r in a JSONL log reader.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next entry, or io.EOF when exhausted.
+func (r *Reader) Next() (*Entry, error) {
+	for r.sc.Scan() {
+		r.line++
+		raw := r.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("logs: line %d: %w", r.line, err)
+		}
+		return &e, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return nil, fmt.Errorf("logs: scan: %w", err)
+	}
+	return nil, io.EOF
+}
+
+// Campaign is a fully loaded log file.
+type Campaign struct {
+	Meta   *Meta
+	Blocks []measure.BlockRecord
+	Txs    []measure.TxRecord
+	Chain  *chain.Registry
+}
+
+// Load reads a whole log stream into memory, reconstructing a registry
+// from chain entries when present. The chain dump is in creation
+// order, so parents always precede children.
+func Load(r io.Reader) (blocks []measure.BlockRecord, txs []measure.TxRecord, reg *chain.Registry, err error) {
+	c, err := LoadCampaign(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c.Blocks, c.Txs, c.Chain, nil
+}
+
+// LoadCampaign reads a whole log stream including metadata.
+func LoadCampaign(r io.Reader) (*Campaign, error) {
+	reader := NewReader(r)
+	c := &Campaign{}
+	var chainBlocks []*ChainBlock
+	for {
+		e, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch e.Kind {
+		case KindMeta:
+			c.Meta = e.Meta
+		case KindBlock:
+			if e.Block != nil {
+				c.Blocks = append(c.Blocks, *e.Block)
+			}
+		case KindTx:
+			if e.Tx != nil {
+				c.Txs = append(c.Txs, *e.Tx)
+			}
+		case KindChain:
+			if e.Chain != nil {
+				chainBlocks = append(chainBlocks, e.Chain)
+			}
+		default:
+			return nil, fmt.Errorf("logs: unknown entry kind %q", e.Kind)
+		}
+	}
+	if len(chainBlocks) > 0 {
+		reg, err := rebuildRegistry(chainBlocks)
+		if err != nil {
+			return nil, err
+		}
+		c.Chain = reg
+	}
+	return c, nil
+}
+
+// rebuildRegistry reconstructs a Registry from dumped chain blocks.
+// The dump is in creation order, so the first entry is genesis and
+// parents always precede children.
+func rebuildRegistry(dump []*ChainBlock) (*chain.Registry, error) {
+	genesis := dump[0]
+	reg := chain.NewRegistryWithGenesis(genesis.Number, genesis.Hash)
+	for _, cb := range dump[1:] {
+		b := &types.Block{
+			Hash:       cb.Hash,
+			Number:     cb.Number,
+			ParentHash: cb.Parent,
+			Miner:      cb.Miner,
+			TxHashes:   cb.TxHashes,
+			Uncles:     cb.Uncles,
+			Difficulty: 1,
+			MinedAt:    time.Duration(cb.MinedAtNs),
+			Size:       cb.Size,
+		}
+		if err := reg.Add(b); err != nil {
+			return nil, fmt.Errorf("logs: rebuild chain: %w", err)
+		}
+	}
+	return reg, nil
+}
+
+// WriteFile writes records and a chain dump to path (creating parent
+// directories), one campaign per file.
+func WriteFile(path string, blocks []measure.BlockRecord, txs []measure.TxRecord, reg *chain.Registry) error {
+	return WriteCampaignFile(path, nil, blocks, txs, reg)
+}
+
+// WriteCampaignFile is WriteFile with a leading metadata entry.
+func WriteCampaignFile(path string, meta *Meta, blocks []measure.BlockRecord, txs []measure.TxRecord, reg *chain.Registry) (err error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("logs: mkdir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("logs: create: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("logs: close: %w", cerr)
+		}
+	}()
+	w := NewWriter(f)
+	if meta != nil {
+		w.Write(&Entry{Kind: KindMeta, Meta: meta})
+	}
+	for i := range blocks {
+		w.RecordBlock(blocks[i])
+	}
+	for i := range txs {
+		w.RecordTx(txs[i])
+	}
+	if reg != nil {
+		WriteChain(w, reg)
+	}
+	return w.Flush()
+}
+
+// ReadFile loads a campaign log file written by WriteFile.
+func ReadFile(path string) ([]measure.BlockRecord, []measure.TxRecord, *chain.Registry, error) {
+	c, err := ReadCampaignFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c.Blocks, c.Txs, c.Chain, nil
+}
+
+// ReadCampaignFile loads a campaign log file including metadata.
+func ReadCampaignFile(path string) (*Campaign, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logs: open: %w", err)
+	}
+	defer f.Close()
+	return LoadCampaign(f)
+}

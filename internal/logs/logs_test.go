@@ -1,0 +1,235 @@
+package logs
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/types"
+)
+
+func sampleRecords() ([]measure.BlockRecord, []measure.TxRecord) {
+	blocks := []measure.BlockRecord{
+		{Vantage: "EA", At: 100 * time.Millisecond, Hash: 5, Number: 101, Miner: 1, Parent: 4, From: 7, Kind: "block", NTxs: 3, Size: 870},
+		{Vantage: "NA", At: 180 * time.Millisecond, Hash: 5, Number: 101, From: 8, Kind: "announce", Size: 48},
+	}
+	txs := []measure.TxRecord{
+		{Vantage: "EA", At: 50 * time.Millisecond, Hash: 21, Sender: 3, Nonce: 0, From: 7},
+		{Vantage: "WE", At: 70 * time.Millisecond, Hash: 21, Sender: 3, Nonce: 0, From: 9},
+	}
+	return blocks, txs
+}
+
+func sampleRegistry(t *testing.T) *chain.Registry {
+	t.Helper()
+	issuer := types.NewHashIssuer(5)
+	reg := chain.NewRegistry(100, issuer)
+	g := reg.Genesis()
+	b1 := &types.Block{
+		Hash: issuer.Next(), Number: 101, ParentHash: g.Hash, Miner: 1,
+		TxHashes: []types.Hash{21}, MinedAt: 90 * time.Millisecond, Size: 650,
+	}
+	if err := reg.Add(b1); err != nil {
+		t.Fatal(err)
+	}
+	u := &types.Block{Hash: issuer.Next(), Number: 101, ParentHash: g.Hash, Miner: 2, Size: 540}
+	if err := reg.Add(u); err != nil {
+		t.Fatal(err)
+	}
+	b2 := &types.Block{
+		Hash: issuer.Next(), Number: 102, ParentHash: b1.Hash, Miner: 1,
+		Uncles: []types.Hash{u.Hash}, Size: 540,
+	}
+	if err := reg.Add(b2); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestRoundTripInMemory(t *testing.T) {
+	blocks, txs := sampleRecords()
+	reg := sampleRegistry(t)
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range blocks {
+		w.RecordBlock(r)
+	}
+	for _, r := range txs {
+		w.RecordTx(r)
+	}
+	WriteChain(w, reg)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Entries() != len(blocks)+len(txs)+reg.Len() {
+		t.Errorf("entries = %d", w.Entries())
+	}
+
+	gotBlocks, gotTxs, gotReg, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotBlocks) != len(blocks) {
+		t.Fatalf("blocks = %d", len(gotBlocks))
+	}
+	for i := range blocks {
+		if gotBlocks[i] != blocks[i] {
+			t.Errorf("block record %d = %+v, want %+v", i, gotBlocks[i], blocks[i])
+		}
+	}
+	for i := range txs {
+		if gotTxs[i] != txs[i] {
+			t.Errorf("tx record %d mismatch", i)
+		}
+	}
+	if gotReg == nil {
+		t.Fatal("registry not rebuilt")
+	}
+	if gotReg.Len() != reg.Len() {
+		t.Errorf("rebuilt registry has %d blocks, want %d", gotReg.Len(), reg.Len())
+	}
+	if gotReg.Head().Hash != reg.Head().Hash {
+		t.Error("rebuilt head differs")
+	}
+	// Uncle references survive.
+	if len(gotReg.UncleRefs()) != 1 {
+		t.Error("uncle refs lost in round trip")
+	}
+	// MinedAt round-trips through nanoseconds.
+	main := gotReg.MainChain()
+	if main[1].MinedAt != 90*time.Millisecond {
+		t.Errorf("MinedAt = %v", main[1].MinedAt)
+	}
+}
+
+func TestReaderSkipsBlankLinesAndReportsCorruption(t *testing.T) {
+	input := "\n" + `{"kind":"tx","tx":{"v":"EA","t":1,"h":2,"a":3,"n":4,"f":5}}` + "\n\nnot-json\n"
+	r := NewReader(strings.NewReader(input))
+	e, err := r.Next()
+	if err != nil || e.Kind != KindTx {
+		t.Fatalf("first entry: %+v, %v", e, err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("corrupt line must error")
+	}
+}
+
+func TestLoadUnknownKind(t *testing.T) {
+	if _, _, _, err := Load(strings.NewReader(`{"kind":"mystery"}` + "\n")); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestLoadEmptyStream(t *testing.T) {
+	blocks, txs, reg, err := Load(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks != nil || txs != nil || reg != nil {
+		t.Error("empty stream should load nothing")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "campaign.jsonl")
+	blocks, txs := sampleRecords()
+	reg := sampleRegistry(t)
+	if err := WriteFile(path, blocks, txs, reg); err != nil {
+		t.Fatal(err)
+	}
+	gotBlocks, gotTxs, gotReg, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotBlocks) != 2 || len(gotTxs) != 2 || gotReg == nil {
+		t.Errorf("read back %d blocks, %d txs, reg=%v", len(gotBlocks), len(gotTxs), gotReg != nil)
+	}
+}
+
+func TestWriteFileWithoutChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "norec.jsonl")
+	if err := WriteFile(path, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	blocks, txs, reg, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks != nil || txs != nil || reg != nil {
+		t.Error("expected an empty campaign file")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestWriterRecorderInterface(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var rec measure.Recorder = w
+	rec.RecordBlock(measure.BlockRecord{Vantage: "EA", Hash: 1, Kind: "block"})
+	rec.RecordTx(measure.TxRecord{Vantage: "EA", Hash: 2})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Errorf("wrote %d lines", lines)
+	}
+}
+
+func TestCampaignFileWithMetadata(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.jsonl")
+	meta := &Meta{
+		PoolNames:         []string{"Ethermine", "Sparkpool"},
+		Vantages:          []string{"NA", "EA", "WE", "CE"},
+		RedundancyVantage: "WE-default",
+		InterBlockNs:      13_300_000_000,
+		DurationNs:        int64(2 * time.Hour),
+		NetworkSize:       220,
+		Seed:              7,
+	}
+	blocks, txs := sampleRecords()
+	reg := sampleRegistry(t)
+	if err := WriteCampaignFile(path, meta, blocks, txs, reg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadCampaignFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta == nil {
+		t.Fatal("metadata lost")
+	}
+	if c.Meta.Seed != 7 || c.Meta.NetworkSize != 220 || c.Meta.RedundancyVantage != "WE-default" {
+		t.Errorf("meta = %+v", c.Meta)
+	}
+	if len(c.Meta.PoolNames) != 2 || c.Meta.PoolNames[0] != "Ethermine" {
+		t.Errorf("pool names = %v", c.Meta.PoolNames)
+	}
+	if len(c.Meta.Vantages) != 4 {
+		t.Errorf("vantages = %v", c.Meta.Vantages)
+	}
+	if time.Duration(c.Meta.InterBlockNs) != 13300*time.Millisecond {
+		t.Errorf("inter-block = %d", c.Meta.InterBlockNs)
+	}
+	if len(c.Blocks) != 2 || len(c.Txs) != 2 || c.Chain == nil {
+		t.Error("records or chain lost alongside metadata")
+	}
+}

@@ -1,0 +1,357 @@
+package mining
+
+import (
+	"testing"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/p2p"
+	"ethmeasure/internal/sim"
+	"ethmeasure/internal/simnet"
+	"ethmeasure/internal/types"
+)
+
+// miningHarness wires a minimal network with pool gateways for miner
+// tests.
+type miningHarness struct {
+	t      *testing.T
+	engine *sim.Engine
+	reg    *chain.Registry
+	issuer *types.HashIssuer
+	p2pCfg p2p.Config
+	nodes  []*p2p.Node
+	txs    map[types.Hash]*types.Transaction
+}
+
+func newMiningHarness(t *testing.T, n int) *miningHarness {
+	t.Helper()
+	engine := sim.NewEngine(1)
+	net := simnet.New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+	issuer := types.NewHashIssuer(1)
+	h := &miningHarness{
+		t:      t,
+		engine: engine,
+		reg:    chain.NewRegistry(0, issuer),
+		issuer: issuer,
+		p2pCfg: p2p.DefaultConfig(),
+		txs:    make(map[types.Hash]*types.Transaction),
+	}
+	for i := 0; i < n; i++ {
+		endpoint, err := net.AddNode(geo.NorthAmerica, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.nodes = append(h.nodes, p2p.NewNode(&h.p2pCfg, net, endpoint, h.reg))
+	}
+	for i := range h.nodes {
+		for j := i + 1; j < len(h.nodes); j++ {
+			p2p.Connect(h.nodes[i], h.nodes[j])
+		}
+	}
+	return h
+}
+
+func (h *miningHarness) resolver(hash types.Hash) *types.Transaction { return h.txs[hash] }
+
+func (h *miningHarness) addTx(sender types.AccountID, nonce uint64, price uint64) *types.Transaction {
+	tx := &types.Transaction{
+		Hash:     h.issuer.Next(),
+		Sender:   sender,
+		Nonce:    nonce,
+		GasPrice: price,
+		Size:     types.TxSize,
+	}
+	h.txs[tx.Hash] = tx
+	return tx
+}
+
+func twoPoolSpecs() []PoolSpec {
+	gw := []geo.Region{geo.NorthAmerica}
+	return []PoolSpec{
+		{Name: "Alpha", Power: 0.7, Gateways: gw},
+		{Name: "Beta", Power: 0.3, Gateways: gw},
+	}
+}
+
+func (h *miningHarness) newMiner(cfg Config, specs []PoolSpec, gateways [][]*p2p.Node) *Miner {
+	h.t.Helper()
+	m, err := NewMiner(cfg, h.engine, h.reg, specs, gateways, h.issuer, h.resolver)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMinerValidation(t *testing.T) {
+	h := newMiningHarness(t, 2)
+	gw := [][]*p2p.Node{{h.nodes[0]}, {h.nodes[1]}}
+	cfg := DefaultConfig()
+
+	if _, err := NewMiner(cfg, h.engine, h.reg, nil, nil, h.issuer, h.resolver); err == nil {
+		t.Error("empty specs must error")
+	}
+	if _, err := NewMiner(cfg, h.engine, h.reg, twoPoolSpecs(), gw[:1], h.issuer, h.resolver); err == nil {
+		t.Error("spec/gateway mismatch must error")
+	}
+	bad := cfg
+	bad.InterBlockTime = 0
+	if _, err := NewMiner(bad, h.engine, h.reg, twoPoolSpecs(), gw, h.issuer, h.resolver); err == nil {
+		t.Error("zero inter-block time must error")
+	}
+	noGw := twoPoolSpecs()
+	if _, err := NewMiner(cfg, h.engine, h.reg, noGw, [][]*p2p.Node{{h.nodes[0]}, nil}, h.issuer, h.resolver); err == nil {
+		t.Error("missing gateway nodes must error")
+	}
+	badSpec := twoPoolSpecs()
+	badSpec[0].Power = 2
+	if _, err := NewMiner(cfg, h.engine, h.reg, badSpec, gw, h.issuer, h.resolver); err == nil {
+		t.Error("invalid spec must error")
+	}
+}
+
+func TestMinerProducesChain(t *testing.T) {
+	h := newMiningHarness(t, 3)
+	cfg := DefaultConfig()
+	cfg.InterBlockTime = 10 * time.Second
+	m := h.newMiner(cfg, twoPoolSpecs(), [][]*p2p.Node{{h.nodes[0]}, {h.nodes[1]}})
+	m.Start(20 * time.Minute)
+	if _, err := h.engine.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mined() < 60 {
+		t.Fatalf("mined %d blocks in 20 virtual minutes", m.Mined())
+	}
+	main := h.reg.MainChain()
+	if len(main) < 50 {
+		t.Fatalf("main chain %d blocks", len(main))
+	}
+	// Power shares: Alpha should clearly dominate Beta.
+	counts := map[types.PoolID]int{}
+	for _, b := range main[1:] {
+		counts[b.Miner]++
+	}
+	if counts[1] <= counts[2] {
+		t.Errorf("pool shares: alpha=%d beta=%d", counts[1], counts[2])
+	}
+}
+
+func TestMinerEmptyRatePolicy(t *testing.T) {
+	h := newMiningHarness(t, 2)
+	specs := []PoolSpec{{
+		Name:      "AlwaysEmpty",
+		Power:     1,
+		Gateways:  []geo.Region{geo.NorthAmerica},
+		EmptyRate: 1,
+	}}
+	cfg := DefaultConfig()
+	cfg.InterBlockTime = 5 * time.Second
+	m := h.newMiner(cfg, specs, [][]*p2p.Node{{h.nodes[0]}})
+	// Seed transactions so non-empty blocks would be possible.
+	for i := uint64(0); i < 50; i++ {
+		m.Pools()[0].TxPool().Add(h.addTx(1, i, 10))
+	}
+	m.Start(5 * time.Minute)
+	if _, err := h.engine.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mined() == 0 {
+		t.Fatal("no blocks mined")
+	}
+	h.reg.Blocks(func(b *types.Block) bool {
+		if b.Miner != 0 && !b.Empty() {
+			t.Errorf("policy-empty pool mined non-empty block %s", b.Hash)
+		}
+		return true
+	})
+	if m.EmptyByPolicy() != m.Mined() {
+		t.Errorf("emptyByPolicy = %d of %d", m.EmptyByPolicy(), m.Mined())
+	}
+}
+
+func TestMinerIncludesTransactionsUpToCapacity(t *testing.T) {
+	h := newMiningHarness(t, 2)
+	cfg := DefaultConfig()
+	cfg.InterBlockTime = 5 * time.Second
+	cfg.BlockCapacity = 7
+	specs := []PoolSpec{{Name: "Solo", Power: 1, Gateways: []geo.Region{geo.NorthAmerica}}}
+	m := h.newMiner(cfg, specs, [][]*p2p.Node{{h.nodes[0]}})
+	for i := uint64(0); i < 30; i++ {
+		m.Pools()[0].TxPool().Add(h.addTx(1, i, 10))
+	}
+	m.Start(time.Minute)
+	if _, err := h.engine.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	sawFull := false
+	h.reg.Blocks(func(b *types.Block) bool {
+		if len(b.TxHashes) > 7 {
+			t.Errorf("block %s carries %d txs, capacity 7", b.Hash, len(b.TxHashes))
+		}
+		if len(b.TxHashes) == 7 {
+			sawFull = true
+		}
+		return true
+	})
+	if !sawFull {
+		t.Error("no block reached capacity despite a 30-tx backlog")
+	}
+}
+
+func TestMinerSiblingsProduceOneMinerForks(t *testing.T) {
+	h := newMiningHarness(t, 2)
+	specs := []PoolSpec{{
+		Name:              "Selfish",
+		Power:             1,
+		Gateways:          []geo.Region{geo.NorthAmerica},
+		SiblingRate:       1,
+		SiblingSameTxFrac: 1,
+	}}
+	cfg := DefaultConfig()
+	cfg.InterBlockTime = 10 * time.Second
+	m := h.newMiner(cfg, specs, [][]*p2p.Node{{h.nodes[0]}})
+	m.Start(3 * time.Minute)
+	if _, err := h.engine.Run(3 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if m.Siblings() == 0 {
+		t.Fatal("sibling rate 1 produced no siblings")
+	}
+	// Every sibling creates a same-height same-miner pair.
+	byHeight := make(map[uint64]int)
+	h.reg.Blocks(func(b *types.Block) bool {
+		if b.Miner != 0 {
+			byHeight[b.Number]++
+		}
+		return true
+	})
+	pairs := 0
+	for _, c := range byHeight {
+		if c >= 2 {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Error("no one-miner forks recorded")
+	}
+}
+
+func TestMineTupleCreatesSameHeightBlocks(t *testing.T) {
+	h := newMiningHarness(t, 2)
+	cfg := DefaultConfig()
+	cfg.InterBlockTime = time.Hour // keep the regular process quiet
+	cfg.TupleEvents = []int{4}
+	m := h.newMiner(cfg, twoPoolSpecs(), [][]*p2p.Node{{h.nodes[0]}, {h.nodes[1]}})
+	m.Start(30 * time.Minute)
+	if _, err := h.engine.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[uint64]int)
+	var miner types.PoolID
+	h.reg.Blocks(func(b *types.Block) bool {
+		if b.Miner != 0 {
+			byKey[b.Number]++
+			miner = b.Miner
+		}
+		return true
+	})
+	found := false
+	for _, c := range byKey {
+		if c == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no 4-tuple found: %v (miner %d)", byKey, miner)
+	}
+}
+
+func TestMinerUnclesGetReferenced(t *testing.T) {
+	h := newMiningHarness(t, 2)
+	specs := []PoolSpec{{
+		Name:        "Forky",
+		Power:       1,
+		Gateways:    []geo.Region{geo.NorthAmerica},
+		SiblingRate: 1, // every block gets a sibling → constant forks
+	}}
+	cfg := DefaultConfig()
+	cfg.InterBlockTime = 8 * time.Second
+	m := h.newMiner(cfg, specs, [][]*p2p.Node{{h.nodes[0]}})
+	m.Start(10 * time.Minute)
+	if _, err := h.engine.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	refs := h.reg.UncleRefs()
+	if len(refs) == 0 {
+		t.Fatal("siblings were never referenced as uncles")
+	}
+	// Each referencing block must satisfy the uncle validity rules.
+	for uncle, blocks := range refs {
+		u := h.reg.MustGet(uncle)
+		for _, ref := range blocks {
+			b := h.reg.MustGet(ref)
+			if u.Number >= b.Number || b.Number-u.Number > chain.MaxUncleDepth {
+				t.Errorf("uncle %s at depth %d from %s", uncle, b.Number-u.Number, ref)
+			}
+		}
+	}
+}
+
+func TestMinerReorgReconcilesTxPool(t *testing.T) {
+	h := newMiningHarness(t, 3)
+	cfg := DefaultConfig()
+	cfg.InterBlockTime = time.Hour // manual control
+	cfg.HeadSwitchMean = time.Millisecond
+	specs := []PoolSpec{{Name: "Solo", Power: 1, Gateways: []geo.Region{geo.NorthAmerica}}}
+	m := h.newMiner(cfg, specs, [][]*p2p.Node{{h.nodes[0]}})
+	pool := m.Pools()[0]
+
+	tx := h.addTx(1, 0, 10)
+	pool.TxPool().Add(tx)
+
+	// A competing miner publishes a block containing our tx; the pool
+	// adopts it and marks the tx included.
+	g := h.reg.Genesis()
+	b1 := &types.Block{
+		Hash: h.issuer.Next(), Number: g.Number + 1, ParentHash: g.Hash,
+		Miner: 99, TxHashes: []types.Hash{tx.Hash}, Size: types.BlockSize(1),
+	}
+	if err := h.reg.Add(b1); err != nil {
+		t.Fatal(err)
+	}
+	h.nodes[1].PublishBlock(b1)
+	if _, err := h.engine.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !pool.TxPool().WasIncluded(tx.Hash) {
+		t.Fatal("adopted block's tx not marked included")
+	}
+	if pool.JobHead().Hash != b1.Hash {
+		t.Fatalf("job head = %s, want adopted %s", pool.JobHead().Hash, b1.Hash)
+	}
+
+	// A heavier branch without the tx replaces it; the tx must return
+	// to the pending set.
+	c1 := &types.Block{Hash: h.issuer.Next(), Number: g.Number + 1, ParentHash: g.Hash, Miner: 98, Size: types.BlockSize(0)}
+	if err := h.reg.Add(c1); err != nil {
+		t.Fatal(err)
+	}
+	c2 := &types.Block{Hash: h.issuer.Next(), Number: c1.Number + 1, ParentHash: c1.Hash, Miner: 98, Size: types.BlockSize(0)}
+	if err := h.reg.Add(c2); err != nil {
+		t.Fatal(err)
+	}
+	h.nodes[2].PublishBlock(c1)
+	h.nodes[2].PublishBlock(c2)
+	if _, err := h.engine.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if pool.JobHead().Hash != c2.Hash {
+		t.Fatalf("job head = %s after reorg, want %s", pool.JobHead().Hash, c2.Hash)
+	}
+	if pool.TxPool().WasIncluded(tx.Hash) {
+		t.Error("reverted tx still marked included")
+	}
+	if !pool.TxPool().Has(tx.Hash) {
+		t.Error("reverted tx not back in pending")
+	}
+}

@@ -1,0 +1,99 @@
+package p2p
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Config holds the protocol timing and relay parameters. Defaults
+// reproduce Geth 1.8.x behaviour (the client the paper instrumented).
+type Config struct {
+	// SqrtPush enables Geth's direct propagation of full blocks to
+	// ceil(sqrt(peers)) peers before import. Disabling it yields a pure
+	// announce-and-fetch gossip (ablation for Table II).
+	SqrtPush bool
+
+	// AnnounceAfterImport enables hash announcements to all remaining
+	// peers once a block has been imported.
+	AnnounceAfterImport bool
+
+	// ArriveTimeout is how long the fetcher waits after a hash
+	// announcement for the full block to arrive by direct push before
+	// requesting it (Geth: 500 ms).
+	ArriveTimeout time.Duration
+
+	// GatherSlack trims the fetch wait (Geth: 100 ms).
+	GatherSlack time.Duration
+
+	// HeaderCheckMean is the mean duration of the pre-relay header
+	// sanity check (block is pushed onward after only this check).
+	HeaderCheckMean time.Duration
+
+	// ImportBase and ImportPerTx model full validation + state
+	// execution time: base + perTx·len(txs), with multiplicative jitter.
+	ImportBase  time.Duration
+	ImportPerTx time.Duration
+
+	// ImportJitter is the max fractional jitter on processing times.
+	ImportJitter float64
+
+	// KnownBlocksPerPeer / KnownTxsPerPeer bound the per-link "peer
+	// already has this hash" caches (Geth: 1024 / 32768).
+	KnownBlocksPerPeer int
+	KnownTxsPerPeer    int
+
+	// KnownTxCache bounds each node's own seen-transaction cache.
+	KnownTxCache int
+}
+
+// DefaultConfig returns the Geth-1.8-calibrated protocol parameters.
+func DefaultConfig() Config {
+	return Config{
+		SqrtPush:            true,
+		AnnounceAfterImport: true,
+		ArriveTimeout:       500 * time.Millisecond,
+		GatherSlack:         100 * time.Millisecond,
+		HeaderCheckMean:     30 * time.Millisecond,
+		ImportBase:          450 * time.Millisecond,
+		ImportPerTx:         1 * time.Millisecond,
+		ImportJitter:        0.5,
+		KnownBlocksPerPeer:  256,
+		KnownTxsPerPeer:     4096,
+		KnownTxCache:        1 << 17,
+	}
+}
+
+// headerCheckDelay samples the pre-relay header check duration.
+func (c *Config) headerCheckDelay(rng *rand.Rand) time.Duration {
+	return jittered(rng, c.HeaderCheckMean, c.ImportJitter)
+}
+
+// importDelay samples the full import duration for a block with nTxs
+// transactions.
+func (c *Config) importDelay(rng *rand.Rand, nTxs int) time.Duration {
+	base := c.ImportBase + time.Duration(nTxs)*c.ImportPerTx
+	return jittered(rng, base, c.ImportJitter)
+}
+
+// fetchDelay samples the fetcher's wait between an announcement for an
+// unknown block and the explicit request for it.
+func (c *Config) fetchDelay(rng *rand.Rand) time.Duration {
+	d := c.ArriveTimeout - c.GatherSlack
+	if d < 0 {
+		d = 0
+	}
+	// Small spread so fetches from many nodes do not synchronize.
+	return d + time.Duration(rng.Int63n(int64(c.GatherSlack)+1))
+}
+
+// jittered applies multiplicative jitter in [1-j/2, 1+j] to d.
+func jittered(rng *rand.Rand, d time.Duration, j float64) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	f := 1 - j/2 + rng.Float64()*1.5*j
+	if f < 0.05 {
+		f = 0.05
+	}
+	return time.Duration(float64(d) * f)
+}

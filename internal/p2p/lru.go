@@ -1,0 +1,49 @@
+package p2p
+
+import "ethmeasure/internal/types"
+
+// hashSet is a bounded set of hashes with FIFO eviction, mirroring the
+// per-peer "known blocks/transactions" LRU caches Geth keeps so that a
+// hash is not re-sent to a peer that already has it.
+type hashSet struct {
+	capacity int
+	m        map[types.Hash]struct{}
+	ring     []types.Hash
+	pos      int
+}
+
+func newHashSet(capacity int) *hashSet {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &hashSet{
+		capacity: capacity,
+		m:        make(map[types.Hash]struct{}, capacity),
+	}
+}
+
+// Add inserts h, evicting the oldest entry when full. It reports
+// whether h was newly added.
+func (s *hashSet) Add(h types.Hash) bool {
+	if _, ok := s.m[h]; ok {
+		return false
+	}
+	if len(s.ring) < s.capacity {
+		s.ring = append(s.ring, h)
+	} else {
+		delete(s.m, s.ring[s.pos])
+		s.ring[s.pos] = h
+		s.pos = (s.pos + 1) % s.capacity
+	}
+	s.m[h] = struct{}{}
+	return true
+}
+
+// Has reports whether h is in the set.
+func (s *hashSet) Has(h types.Hash) bool {
+	_, ok := s.m[h]
+	return ok
+}
+
+// Len returns the number of entries currently held.
+func (s *hashSet) Len() int { return len(s.m) }

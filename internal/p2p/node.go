@@ -1,0 +1,394 @@
+// Package p2p models the Ethereum wire protocol (eth/63) as spoken by
+// Geth 1.8.x, the client the paper instrumented:
+//
+//   - a freshly received block is pushed in full to ceil(sqrt(peers))
+//     peers after only a header check (direct propagation);
+//   - after full import, its hash is announced to every remaining peer
+//     that is not known to have it;
+//   - a node that only heard an announcement waits ~arriveTimeout for
+//     the direct push to arrive before fetching the block explicitly;
+//   - per-link caches track which hashes a peer already has so nothing
+//     is re-sent (the source of the bounded redundancy in Table II);
+//   - transactions are relayed to every peer not known to have them.
+package p2p
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/rlp"
+	"ethmeasure/internal/sim"
+	"ethmeasure/internal/simnet"
+	"ethmeasure/internal/types"
+)
+
+// MsgKind classifies an observed inbound message.
+type MsgKind int
+
+// Message kinds.
+const (
+	MsgFullBlock    MsgKind = iota + 1 // direct NewBlock push (header+body)
+	MsgAnnounce                        // NewBlockHashes announcement
+	MsgFetchedBlock                    // block body fetched after an announcement
+	MsgTx                              // transaction
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgFullBlock:
+		return "block"
+	case MsgAnnounce:
+		return "announce"
+	case MsgFetchedBlock:
+		return "fetched"
+	case MsgTx:
+		return "tx"
+	default:
+		return "unknown"
+	}
+}
+
+// Observer receives every inbound protocol message at a node. The
+// measurement infrastructure implements it; regular nodes leave it nil.
+type Observer interface {
+	// ObserveBlock fires for every full-block or fetched-block delivery.
+	ObserveBlock(at sim.Time, b *types.Block, from types.NodeID, kind MsgKind)
+	// ObserveAnnounce fires for every block-hash announcement entry.
+	ObserveAnnounce(at sim.Time, h types.Hash, number uint64, from types.NodeID)
+	// ObserveTx fires for every transaction delivery, duplicate or not.
+	ObserveTx(at sim.Time, tx *types.Transaction, from types.NodeID)
+}
+
+// Edge is a bidirectional peer link with shared known-hash caches.
+// Geth marks a hash as known by a peer both when sending it to and when
+// receiving it from that peer, so a single shared set per link captures
+// the suppression behaviour.
+type Edge struct {
+	a, b        *Node
+	knownBlocks *hashSet
+	knownTxs    *hashSet
+}
+
+// Other returns the endpoint of the edge that is not n.
+func (e *Edge) Other(n *Node) *Node {
+	if e.a == n {
+		return e.b
+	}
+	return e.a
+}
+
+// Node is one protocol participant.
+type Node struct {
+	cfg     *Config
+	net     *simnet.Network
+	netNode *simnet.Node
+	engine  *sim.Engine
+	rng     *rand.Rand
+	reg     *chain.Registry
+	view    *chain.View
+
+	edges      []*Edge
+	seenBlocks map[types.Hash]bool // received at least once (pre-import)
+	fetching   map[types.Hash]bool // announced, awaiting push or fetch
+	knownTxs   *hashSet
+
+	// procSpeed scales this node's processing delays: 1.0 = baseline
+	// hardware, <1 = faster. The paper's measurement machines are well
+	// above minimum spec (Table I), while the public network mixes
+	// hardware classes; this asymmetry shapes who announces first and
+	// therefore the redundancy split of Table II.
+	procSpeed float64
+
+	// Observer, when non-nil, sees every inbound message (measurement).
+	Observer Observer
+	// OnNewHead, when non-nil, fires after an import changes the head
+	// (mining-pool gateways hook this to switch mining jobs).
+	OnNewHead func(b *types.Block)
+	// TxSink, when non-nil, receives every first-seen transaction
+	// (mining-pool gateways feed their txpool from it).
+	TxSink func(tx *types.Transaction)
+}
+
+// NewNode creates a protocol node bound to a network endpoint. Each
+// node gets its own chain view over the shared registry.
+func NewNode(cfg *Config, net *simnet.Network, endpoint *simnet.Node, reg *chain.Registry) *Node {
+	return &Node{
+		cfg:        cfg,
+		net:        net,
+		netNode:    endpoint,
+		engine:     net.Engine(),
+		rng:        net.Engine().RNG("p2p"),
+		reg:        reg,
+		view:       chain.NewView(reg),
+		seenBlocks: make(map[types.Hash]bool, 256),
+		fetching:   make(map[types.Hash]bool, 16),
+		knownTxs:   newHashSet(cfg.KnownTxCache),
+		procSpeed:  1,
+	}
+}
+
+// SetProcSpeed scales the node's processing delays (1.0 = baseline,
+// 0.5 = twice as fast). Values ≤ 0 are ignored.
+func (n *Node) SetProcSpeed(speed float64) {
+	if speed > 0 {
+		n.procSpeed = speed
+	}
+}
+
+// ProcSpeed returns the node's processing-speed scale.
+func (n *Node) ProcSpeed() float64 { return n.procSpeed }
+
+func (n *Node) scale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * n.procSpeed)
+}
+
+// ID returns the node's network ID.
+func (n *Node) ID() types.NodeID { return n.netNode.ID }
+
+// Endpoint returns the underlying network endpoint.
+func (n *Node) Endpoint() *simnet.Node { return n.netNode }
+
+// View returns the node's chain view.
+func (n *Node) View() *chain.View { return n.view }
+
+// NumPeers returns the number of connected peers.
+func (n *Node) NumPeers() int { return len(n.edges) }
+
+// Peers returns the connected peer nodes in connection order.
+func (n *Node) Peers() []*Node {
+	out := make([]*Node, len(n.edges))
+	for i, e := range n.edges {
+		out[i] = e.Other(n)
+	}
+	return out
+}
+
+// Connect links two nodes. Connecting a node to itself or re-connecting
+// an existing pair is a no-op returning the existing (or nil) edge.
+func Connect(a, b *Node) *Edge {
+	if a == b {
+		return nil
+	}
+	for _, e := range a.edges {
+		if e.Other(a) == b {
+			return e
+		}
+	}
+	e := &Edge{
+		a:           a,
+		b:           b,
+		knownBlocks: newHashSet(a.cfg.KnownBlocksPerPeer),
+		knownTxs:    newHashSet(a.cfg.KnownTxsPerPeer),
+	}
+	a.edges = append(a.edges, e)
+	b.edges = append(b.edges, e)
+	return e
+}
+
+// Disconnect tears down the link between two nodes (peer drop). It is
+// a no-op if they are not connected.
+func Disconnect(a, b *Node) {
+	for _, e := range a.edges {
+		if e.Other(a) == b {
+			a.removeEdge(e)
+			b.removeEdge(e)
+			return
+		}
+	}
+}
+
+// DisconnectAll drops every peer connection (node restart / departure,
+// the churn real deployments see constantly).
+func (n *Node) DisconnectAll() {
+	edges := n.edges
+	n.edges = nil
+	for _, e := range edges {
+		e.Other(n).removeEdge(e)
+	}
+}
+
+func (n *Node) removeEdge(target *Edge) {
+	for i, e := range n.edges {
+		if e == target {
+			n.edges = append(n.edges[:i], n.edges[i+1:]...)
+			return
+		}
+	}
+}
+
+// PublishBlock is called by a miner gateway for a block it just mined:
+// the block is imported locally, pushed in full to sqrt(peers) and
+// announced to everyone else, exactly as Geth's mined-block broadcast.
+func (n *Node) PublishBlock(b *types.Block) {
+	if n.seenBlocks[b.Hash] {
+		return
+	}
+	n.seenBlocks[b.Hash] = true
+	if n.view.Import(b) && n.OnNewHead != nil {
+		n.OnNewHead(b)
+	}
+	n.pushBlock(b)
+	n.announceBlock(b)
+}
+
+// handleBlock processes an inbound full block (pushed or fetched).
+func (n *Node) handleBlock(b *types.Block, from *Edge, kind MsgKind) {
+	from.knownBlocks.Add(b.Hash)
+	if n.Observer != nil {
+		n.Observer.ObserveBlock(n.engine.Now(), b, from.Other(n).ID(), kind)
+	}
+	if n.seenBlocks[b.Hash] {
+		return
+	}
+	n.seenBlocks[b.Hash] = true
+	delete(n.fetching, b.Hash)
+
+	// Direct propagation happens after only a header sanity check;
+	// full import (validation + state execution) completes later and
+	// triggers the hash announcement.
+	headerDelay := n.scale(n.cfg.headerCheckDelay(n.rng))
+	importDelay := n.scale(n.cfg.importDelay(n.rng, len(b.TxHashes)))
+	n.engine.After(headerDelay, func() { n.pushBlock(b) })
+	n.engine.After(headerDelay+importDelay, func() { n.finishImport(b) })
+}
+
+// pushBlock sends the full block to ceil(sqrt(peers)) randomly chosen
+// peers that are not known to have it.
+func (n *Node) pushBlock(b *types.Block) {
+	if !n.cfg.SqrtPush {
+		return
+	}
+	var targets []*Edge
+	for _, e := range n.edges {
+		if !e.knownBlocks.Has(b.Hash) {
+			targets = append(targets, e)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	k := int(math.Ceil(math.Sqrt(float64(len(n.edges)))))
+	if k > len(targets) {
+		k = len(targets)
+	}
+	n.rng.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+	for _, e := range targets[:k] {
+		n.sendBlock(b, e, MsgFullBlock)
+	}
+}
+
+func (n *Node) sendBlock(b *types.Block, e *Edge, kind MsgKind) {
+	e.knownBlocks.Add(b.Hash)
+	peer := e.Other(n)
+	n.net.Send(n.netNode, peer.netNode, b.Size, func() {
+		peer.handleBlock(b, e, kind)
+	})
+}
+
+// finishImport completes validation, applies fork choice and announces
+// the block hash to every peer not known to have it.
+func (n *Node) finishImport(b *types.Block) {
+	if n.view.Import(b) && n.OnNewHead != nil {
+		n.OnNewHead(b)
+	}
+	n.announceBlock(b)
+}
+
+func (n *Node) announceBlock(b *types.Block) {
+	if !n.cfg.AnnounceAfterImport {
+		return
+	}
+	for _, e := range n.edges {
+		if e.knownBlocks.Has(b.Hash) {
+			continue
+		}
+		e.knownBlocks.Add(b.Hash)
+		peer, edge := e.Other(n), e
+		n.net.Send(n.netNode, peer.netNode, rlp.AnnouncementWireSize(b.Number), func() {
+			peer.handleAnnounce(b.Hash, b.Number, edge)
+		})
+	}
+}
+
+// handleAnnounce processes an inbound block-hash announcement. Unknown
+// hashes arm the fetcher: wait for the direct push, then request the
+// block from the announcing peer if it never arrives.
+func (n *Node) handleAnnounce(h types.Hash, number uint64, from *Edge) {
+	from.knownBlocks.Add(h)
+	if n.Observer != nil {
+		n.Observer.ObserveAnnounce(n.engine.Now(), h, number, from.Other(n).ID())
+	}
+	if n.seenBlocks[h] || n.fetching[h] {
+		return
+	}
+	n.fetching[h] = true
+	announcer := from
+	n.engine.After(n.cfg.fetchDelay(n.rng), func() {
+		if !n.fetching[h] || n.seenBlocks[h] {
+			return
+		}
+		delete(n.fetching, h)
+		peer := announcer.Other(n)
+		n.net.Send(n.netNode, peer.netNode, 64, func() {
+			peer.handleGetBlock(h, announcer)
+		})
+	})
+}
+
+// handleGetBlock serves a block body to a peer that requested it after
+// an announcement.
+func (n *Node) handleGetBlock(h types.Hash, from *Edge) {
+	if !n.seenBlocks[h] {
+		return // cannot serve what we do not have
+	}
+	b, ok := n.reg.Get(h)
+	if !ok {
+		return
+	}
+	n.sendBlock(b, from, MsgFetchedBlock)
+}
+
+// SubmitTx injects a locally created transaction (the node is the
+// origin chosen by the workload generator) and relays it.
+func (n *Node) SubmitTx(tx *types.Transaction) {
+	if !n.knownTxs.Add(tx.Hash) {
+		return
+	}
+	if n.TxSink != nil {
+		n.TxSink(tx)
+	}
+	n.relayTx(tx)
+}
+
+// handleTx processes an inbound transaction.
+func (n *Node) handleTx(tx *types.Transaction, from *Edge) {
+	from.knownTxs.Add(tx.Hash)
+	if n.Observer != nil {
+		n.Observer.ObserveTx(n.engine.Now(), tx, from.Other(n).ID())
+	}
+	if !n.knownTxs.Add(tx.Hash) {
+		return
+	}
+	if n.TxSink != nil {
+		n.TxSink(tx)
+	}
+	n.relayTx(tx)
+}
+
+// relayTx sends the transaction to every peer not known to have it
+// (Geth 1.8 broadcasts transactions to all unknowing peers).
+func (n *Node) relayTx(tx *types.Transaction) {
+	for _, e := range n.edges {
+		if e.knownTxs.Has(tx.Hash) {
+			continue
+		}
+		e.knownTxs.Add(tx.Hash)
+		peer, edge := e.Other(n), e
+		n.net.Send(n.netNode, peer.netNode, tx.Size, func() {
+			peer.handleTx(tx, edge)
+		})
+	}
+}

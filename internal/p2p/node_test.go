@@ -1,0 +1,383 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/sim"
+	"ethmeasure/internal/simnet"
+	"ethmeasure/internal/types"
+)
+
+// harness bundles a small protocol network for tests.
+type harness struct {
+	t      *testing.T
+	engine *sim.Engine
+	net    *simnet.Network
+	reg    *chain.Registry
+	issuer *types.HashIssuer
+	cfg    Config
+	nodes  []*Node
+}
+
+func newHarness(t *testing.T, n int, cfg Config) *harness {
+	t.Helper()
+	engine := sim.NewEngine(1)
+	net := simnet.New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+	issuer := types.NewHashIssuer(1)
+	reg := chain.NewRegistry(0, issuer)
+	h := &harness{t: t, engine: engine, net: net, reg: reg, issuer: issuer, cfg: cfg}
+	for i := 0; i < n; i++ {
+		endpoint, err := net.AddNode(geo.NorthAmerica, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.nodes = append(h.nodes, NewNode(&h.cfg, net, endpoint, reg))
+	}
+	return h
+}
+
+// ring connects the nodes in a cycle.
+func (h *harness) ring() {
+	for i := range h.nodes {
+		Connect(h.nodes[i], h.nodes[(i+1)%len(h.nodes)])
+	}
+}
+
+// full connects every pair.
+func (h *harness) full() {
+	for i := range h.nodes {
+		for j := i + 1; j < len(h.nodes); j++ {
+			Connect(h.nodes[i], h.nodes[j])
+		}
+	}
+}
+
+func (h *harness) mineBlock(parent *types.Block, miner types.PoolID) *types.Block {
+	h.t.Helper()
+	b := &types.Block{
+		Hash:       h.issuer.Next(),
+		Number:     parent.Number + 1,
+		ParentHash: parent.Hash,
+		Miner:      miner,
+		Size:       types.BlockSize(0),
+	}
+	if err := h.reg.Add(b); err != nil {
+		h.t.Fatal(err)
+	}
+	return b
+}
+
+func (h *harness) run(d time.Duration) {
+	h.t.Helper()
+	if _, err := h.engine.Run(d); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+func TestConnectDeduplicatesAndRejectsSelf(t *testing.T) {
+	h := newHarness(t, 2, DefaultConfig())
+	a, b := h.nodes[0], h.nodes[1]
+	if Connect(a, a) != nil {
+		t.Error("self-connect should return nil")
+	}
+	e1 := Connect(a, b)
+	e2 := Connect(b, a)
+	if e1 == nil || e1 != e2 {
+		t.Error("reconnect must return the existing edge")
+	}
+	if a.NumPeers() != 1 || b.NumPeers() != 1 {
+		t.Errorf("peer counts %d/%d", a.NumPeers(), b.NumPeers())
+	}
+	if a.Peers()[0] != b {
+		t.Error("Peers() wrong")
+	}
+}
+
+func TestBlockFloodsEntireNetwork(t *testing.T) {
+	h := newHarness(t, 12, DefaultConfig())
+	h.ring() // worst-case diameter
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(time.Minute)
+	for i, n := range h.nodes {
+		if !n.View().Knows(b.Hash) {
+			t.Errorf("node %d never imported the block", i)
+		}
+		if n.View().Head().Hash != b.Hash {
+			t.Errorf("node %d head = %s", i, n.View().Head().Hash)
+		}
+	}
+}
+
+func TestAnnounceOnlyGossipStillDelivers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SqrtPush = false // ablation: pure announce-and-fetch
+	h := newHarness(t, 8, cfg)
+	h.ring()
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(2 * time.Minute)
+	for i, n := range h.nodes {
+		if !n.View().Knows(b.Hash) {
+			t.Errorf("node %d missing block under announce-only gossip", i)
+		}
+	}
+}
+
+func TestPushOnlyGossipStillDelivers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AnnounceAfterImport = false
+	h := newHarness(t, 8, cfg)
+	h.full() // sqrt-push alone does not guarantee ring coverage
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(2 * time.Minute)
+	reached := 0
+	for _, n := range h.nodes {
+		if n.View().Knows(b.Hash) {
+			reached++
+		}
+	}
+	// sqrt-push repeatedly forwards; on a full graph everyone is
+	// reachable by pushes alone.
+	if reached != len(h.nodes) {
+		t.Errorf("push-only reached %d of %d", reached, len(h.nodes))
+	}
+}
+
+// countingObserver tallies observed messages.
+type countingObserver struct {
+	full, fetched, announces, txs int
+	lastFrom                      types.NodeID
+}
+
+func (c *countingObserver) ObserveBlock(_ sim.Time, _ *types.Block, from types.NodeID, kind MsgKind) {
+	switch kind {
+	case MsgFullBlock:
+		c.full++
+	case MsgFetchedBlock:
+		c.fetched++
+	}
+	c.lastFrom = from
+}
+
+func (c *countingObserver) ObserveAnnounce(_ sim.Time, _ types.Hash, _ uint64, from types.NodeID) {
+	c.announces++
+	c.lastFrom = from
+}
+
+func (c *countingObserver) ObserveTx(_ sim.Time, _ *types.Transaction, from types.NodeID) {
+	c.txs++
+	c.lastFrom = from
+}
+
+func TestObserverSeesEveryReception(t *testing.T) {
+	h := newHarness(t, 6, DefaultConfig())
+	h.full()
+	obs := &countingObserver{}
+	h.nodes[5].Observer = obs
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(time.Minute)
+	total := obs.full + obs.announces + obs.fetched
+	if total == 0 {
+		t.Fatal("observer saw nothing")
+	}
+	// Suppression bounds: at most one message per edge plus the
+	// initial pushes; never more than one reception per peer per kind.
+	if obs.full > 5 || obs.announces > 5 {
+		t.Errorf("full=%d announces=%d exceed peer count", obs.full, obs.announces)
+	}
+}
+
+func TestKnownPeerSuppressionBoundsTraffic(t *testing.T) {
+	h := newHarness(t, 10, DefaultConfig())
+	h.full()
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(time.Minute)
+	delivered := h.net.Delivered()
+	// Upper bound: every edge carries at most ~2 block messages plus
+	// fetches; 45 edges → allow generous slack but catch explosions.
+	if delivered > 200 {
+		t.Errorf("delivered %d messages for one block on 45 edges", delivered)
+	}
+}
+
+func TestFetchAfterAnnounceTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SqrtPush = false
+	h := newHarness(t, 2, cfg)
+	h.ring()
+	obs := &countingObserver{}
+	h.nodes[1].Observer = obs
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(time.Minute)
+	if obs.announces != 1 {
+		t.Errorf("announces = %d, want 1", obs.announces)
+	}
+	if obs.fetched != 1 {
+		t.Errorf("fetched = %d, want 1 (block must arrive via fetch)", obs.fetched)
+	}
+	if !h.nodes[1].View().Knows(b.Hash) {
+		t.Error("fetched block not imported")
+	}
+}
+
+func TestTxFloodsAndDeduplicates(t *testing.T) {
+	h := newHarness(t, 8, DefaultConfig())
+	h.ring()
+	sink := 0
+	h.nodes[4].TxSink = func(*types.Transaction) { sink++ }
+	tx := &types.Transaction{Hash: 0x1234, Sender: 1, Size: types.TxSize}
+	h.nodes[0].SubmitTx(tx)
+	h.run(time.Minute)
+	if sink != 1 {
+		t.Errorf("TxSink fired %d times, want exactly 1", sink)
+	}
+	// Re-submitting the same tx must not re-flood.
+	before := h.net.Delivered()
+	h.nodes[0].SubmitTx(tx)
+	h.run(2 * time.Minute)
+	if h.net.Delivered() != before {
+		t.Error("duplicate submit generated traffic")
+	}
+}
+
+func TestOnNewHeadFiresOncePerReorg(t *testing.T) {
+	h := newHarness(t, 3, DefaultConfig())
+	h.full()
+	var heads []types.Hash
+	h.nodes[2].OnNewHead = func(b *types.Block) { heads = append(heads, b.Hash) }
+	b1 := h.mineBlock(h.reg.Genesis(), 1)
+	b2 := h.mineBlock(b1, 1)
+	h.nodes[0].PublishBlock(b1)
+	h.run(5 * time.Second)
+	h.nodes[0].PublishBlock(b2)
+	h.run(time.Minute)
+	if len(heads) != 2 || heads[0] != b1.Hash || heads[1] != b2.Hash {
+		t.Errorf("head sequence = %v", heads)
+	}
+}
+
+func TestProcSpeedScalesImportLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ImportJitter = 0 // deterministic timing
+	h := newHarness(t, 3, cfg)
+	Connect(h.nodes[0], h.nodes[1])
+	Connect(h.nodes[0], h.nodes[2])
+	h.nodes[1].SetProcSpeed(0.25)
+	h.nodes[2].SetProcSpeed(4.0)
+
+	var fastAt, slowAt sim.Time
+	h.nodes[1].OnNewHead = func(*types.Block) { fastAt = h.engine.Now() }
+	h.nodes[2].OnNewHead = func(*types.Block) { slowAt = h.engine.Now() }
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(time.Minute)
+	if fastAt == 0 || slowAt == 0 {
+		t.Fatal("heads did not update")
+	}
+	if fastAt >= slowAt {
+		t.Errorf("fast node imported at %v, slow at %v", fastAt, slowAt)
+	}
+}
+
+func TestSetProcSpeedIgnoresNonPositive(t *testing.T) {
+	h := newHarness(t, 1, DefaultConfig())
+	n := h.nodes[0]
+	n.SetProcSpeed(-1)
+	if n.ProcSpeed() != 1 {
+		t.Error("negative speed should be ignored")
+	}
+	n.SetProcSpeed(0)
+	if n.ProcSpeed() != 1 {
+		t.Error("zero speed should be ignored")
+	}
+	n.SetProcSpeed(2)
+	if n.ProcSpeed() != 2 {
+		t.Error("valid speed not applied")
+	}
+}
+
+func TestCompetingBlocksFirstSeenWins(t *testing.T) {
+	h := newHarness(t, 2, DefaultConfig())
+	h.ring()
+	a := h.mineBlock(h.reg.Genesis(), 1)
+	b := h.mineBlock(h.reg.Genesis(), 2)
+	h.nodes[0].PublishBlock(a)
+	h.run(30 * time.Second)
+	h.nodes[1].handleBlock(b, h.nodes[1].edges[0], MsgFullBlock)
+	h.run(time.Minute)
+	// Both know both blocks; heads keep the first-seen (a for node 0).
+	if h.nodes[0].View().Head().Hash != a.Hash {
+		t.Errorf("node 0 head = %s, want first-seen %s", h.nodes[0].View().Head().Hash, a.Hash)
+	}
+}
+
+func TestDisconnectPair(t *testing.T) {
+	h := newHarness(t, 3, DefaultConfig())
+	h.full()
+	a, b, c := h.nodes[0], h.nodes[1], h.nodes[2]
+	Disconnect(a, b)
+	if a.NumPeers() != 1 || b.NumPeers() != 1 {
+		t.Errorf("peer counts after disconnect: %d/%d", a.NumPeers(), b.NumPeers())
+	}
+	if a.Peers()[0] != c || b.Peers()[0] != c {
+		t.Error("surviving edges wrong")
+	}
+	// Disconnecting again is a no-op.
+	Disconnect(a, b)
+	if a.NumPeers() != 1 {
+		t.Error("repeat disconnect changed state")
+	}
+	// Traffic still flows via c.
+	blk := h.mineBlock(h.reg.Genesis(), 1)
+	a.PublishBlock(blk)
+	h.run(time.Minute)
+	if !b.View().Knows(blk.Hash) {
+		t.Error("block failed to route around the removed edge")
+	}
+}
+
+func TestDisconnectAllAndRejoin(t *testing.T) {
+	h := newHarness(t, 5, DefaultConfig())
+	h.full()
+	n := h.nodes[2]
+	n.DisconnectAll()
+	if n.NumPeers() != 0 {
+		t.Fatalf("peers after DisconnectAll = %d", n.NumPeers())
+	}
+	for i, other := range h.nodes {
+		if other == n {
+			continue
+		}
+		for _, p := range other.Peers() {
+			if p == n {
+				t.Errorf("node %d still lists the departed peer", i)
+			}
+		}
+	}
+	// A block published while offline is missed...
+	b1 := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b1)
+	h.run(30 * time.Second)
+	if n.View().Knows(b1.Hash) {
+		t.Error("offline node received a block")
+	}
+	// ...but after rejoining, new blocks arrive again.
+	Connect(n, h.nodes[0])
+	b2 := h.mineBlock(b1, 1)
+	h.nodes[0].PublishBlock(b2)
+	h.run(time.Minute)
+	if !n.View().Knows(b2.Hash) {
+		t.Error("rejoined node missed the next block")
+	}
+	if n.View().Head().Hash != b2.Hash {
+		t.Error("rejoined node head not updated (import must not require the missed parent)")
+	}
+}

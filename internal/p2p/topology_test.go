@@ -1,0 +1,111 @@
+package p2p
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBuildRandomTopologyDegrees(t *testing.T) {
+	h := newHarness(t, 50, DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	if err := BuildRandomTopology(rng, h.nodes, 4); err != nil {
+		t.Fatal(err)
+	}
+	totalDegree := 0
+	for i, n := range h.nodes {
+		if n.NumPeers() < 4 {
+			t.Errorf("node %d degree %d < outDegree", i, n.NumPeers())
+		}
+		totalDegree += n.NumPeers()
+	}
+	mean := float64(totalDegree) / float64(len(h.nodes))
+	if mean < 7 || mean > 9.5 {
+		t.Errorf("mean degree %.1f, want ≈8", mean)
+	}
+}
+
+func TestBuildRandomTopologyErrors(t *testing.T) {
+	h := newHarness(t, 5, DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	if err := BuildRandomTopology(rng, h.nodes[:1], 1); err == nil {
+		t.Error("single node must error")
+	}
+	if err := BuildRandomTopology(rng, h.nodes, 0); err == nil {
+		t.Error("zero degree must error")
+	}
+	if err := BuildRandomTopology(rng, h.nodes, 5); err == nil {
+		t.Error("degree >= n must error")
+	}
+}
+
+func TestBuildRandomTopologyFloodReachesAll(t *testing.T) {
+	h := newHarness(t, 40, DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	if err := BuildRandomTopology(rng, h.nodes, 3); err != nil {
+		t.Fatal(err)
+	}
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(time.Minute)
+	for i, n := range h.nodes {
+		if !n.View().Knows(b.Hash) {
+			t.Errorf("node %d unreachable in random topology", i)
+		}
+	}
+}
+
+func TestBuildDiscoveryTopology(t *testing.T) {
+	h := newHarness(t, 40, DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	if err := BuildDiscoveryTopology(rng, h.nodes, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range h.nodes {
+		if n.NumPeers() < 4 {
+			t.Errorf("node %d degree %d < outDegree", i, n.NumPeers())
+		}
+	}
+	// The discovery-built graph must be flood-connected.
+	b := h.mineBlock(h.reg.Genesis(), 1)
+	h.nodes[0].PublishBlock(b)
+	h.run(time.Minute)
+	for i, n := range h.nodes {
+		if !n.View().Knows(b.Hash) {
+			t.Errorf("node %d unreachable in discovery topology", i)
+		}
+	}
+}
+
+func TestBuildDiscoveryTopologyErrors(t *testing.T) {
+	h := newHarness(t, 5, DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	if err := BuildDiscoveryTopology(rng, h.nodes[:1], 1); err == nil {
+		t.Error("single node must error")
+	}
+	if err := BuildDiscoveryTopology(rng, h.nodes, 0); err == nil {
+		t.Error("zero degree must error")
+	}
+}
+
+func TestConnectToRandom(t *testing.T) {
+	h := newHarness(t, 10, DefaultConfig())
+	rng := rand.New(rand.NewSource(3))
+	node := h.nodes[0]
+	made := ConnectToRandom(rng, node, h.nodes, 5)
+	if made != 5 {
+		t.Errorf("made %d connections, want 5", made)
+	}
+	if node.NumPeers() != 5 {
+		t.Errorf("peers = %d", node.NumPeers())
+	}
+	// Self and existing peers are skipped; asking for more than
+	// available caps out.
+	made = ConnectToRandom(rng, node, h.nodes, 100)
+	if node.NumPeers() != 9 {
+		t.Errorf("peers after exhaustive connect = %d, want 9", node.NumPeers())
+	}
+	if made != 4 {
+		t.Errorf("made = %d, want 4", made)
+	}
+}

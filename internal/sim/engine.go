@@ -1,0 +1,185 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine. All network, mining and measurement activity in this project
+// runs on top of a single engine instance: components schedule
+// callbacks at virtual times, and the engine executes them in
+// timestamp order (ties broken by scheduling order) so that a run is
+// fully reproducible from its configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp: the duration elapsed since the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break for deterministic ordering
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when the engine was stopped explicitly
+// before reaching the horizon.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is a deterministic discrete-event scheduler. It is not safe
+// for concurrent use: simulations are single-threaded by design so that
+// identical seeds yield identical runs.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	ran     uint64
+	seed    int64
+	streams map[string]*rand.Rand
+}
+
+// NewEngine creates an engine whose named RNG streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		seed:    seed,
+		streams: make(map[string]*rand.Rand),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun returns how many events have executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Seed returns the master seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// RNG returns the named deterministic random stream, creating it on
+// first use. Distinct names give independent streams, so adding a new
+// consumer does not perturb the draws seen by existing ones.
+func (e *Engine) RNG(name string) *rand.Rand {
+	if r, ok := e.streams[name]; ok {
+		return r
+	}
+	h := fnv64(name)
+	r := rand.New(rand.NewSource(e.seed ^ int64(h)))
+	e.streams[name] = r
+	return r
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in
+// the past (before Now) is an error and the event is dropped with a
+// panic, since it indicates a logic bug in the caller.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn after the given delay from the current time. Negative
+// delays are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue drains, the virtual
+// clock passes horizon, or Stop is called. Events scheduled exactly at
+// the horizon still run. It returns the virtual time at which the run
+// ended and ErrStopped if the engine was stopped explicitly.
+func (e *Engine) Run(horizon Time) (Time, error) {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now, nil
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.ran++
+		next.fn()
+		if e.stopped {
+			return e.now, ErrStopped
+		}
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return e.now, nil
+}
+
+// Step executes exactly one event, if any, and reports whether an
+// event ran. Useful in tests that need fine-grained control.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*event)
+	e.now = next.at
+	e.ran++
+	next.fn()
+	return true
+}
+
+// ExpDuration samples an exponentially distributed duration with the
+// given mean using the supplied RNG. Used for Poisson processes (block
+// arrivals, transaction arrivals).
+func ExpDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(rng.ExpFloat64() * float64(mean))
+}

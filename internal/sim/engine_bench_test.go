@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineScheduleRun measures raw event throughput: the whole
+// simulation's cost scales with it (a default campaign executes ~45M
+// events).
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			if _, err := e.Run(e.Now() + time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.Run(e.Now() + time.Second); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineSelfScheduling models the dominant pattern: events
+// that schedule their successors (Poisson processes, relay chains).
+func BenchmarkEngineSelfScheduling(b *testing.B) {
+	e := NewEngine(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	b.ResetTimer()
+	if _, err := e.Run(time.Duration(1<<62 - 1)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRNGStreamAccess(b *testing.B) {
+	e := NewEngine(1)
+	e.RNG("x") // pre-create
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.RNG("x").Int63()
+	}
+}

@@ -1,0 +1,109 @@
+// Package simnet provides the simulated network substrate: nodes with
+// a geographic region and bandwidth, links between them, and message
+// delivery with region-dependent latency, size-dependent transfer time
+// and jitter. Protocol behaviour lives one layer up in internal/p2p.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/sim"
+	"ethmeasure/internal/types"
+)
+
+// Node is a network endpoint.
+type Node struct {
+	ID        types.NodeID
+	Region    geo.Region
+	Bandwidth float64 // bytes per second
+}
+
+// Network owns all nodes and delivers messages between them on the
+// simulation engine.
+type Network struct {
+	engine  *sim.Engine
+	latency *geo.LatencyModel
+	rng     *rand.Rand
+	nodes   []*Node
+
+	// MinOverhead is a fixed per-message processing cost added to every
+	// delivery (kernel + serialization floor).
+	MinOverhead time.Duration
+
+	delivered uint64
+}
+
+// New creates a network on the given engine with the given latency model.
+func New(engine *sim.Engine, latency *geo.LatencyModel) *Network {
+	return &Network{
+		engine:      engine,
+		latency:     latency,
+		rng:         engine.RNG("simnet"),
+		MinOverhead: 200 * time.Microsecond,
+	}
+}
+
+// AddNode registers a node in the given region with the given bandwidth
+// (bytes/second). Bandwidth must be positive.
+func (n *Network) AddNode(region geo.Region, bandwidth float64) (*Node, error) {
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("simnet: bandwidth must be positive, got %f", bandwidth)
+	}
+	if !region.Valid() {
+		return nil, fmt.Errorf("simnet: invalid region %d", int(region))
+	}
+	node := &Node{
+		ID:        types.NodeID(len(n.nodes)),
+		Region:    region,
+		Bandwidth: bandwidth,
+	}
+	n.nodes = append(n.nodes, node)
+	return node, nil
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id types.NodeID) *Node {
+	return n.nodes[int(id)]
+}
+
+// Nodes returns all nodes in creation order. The returned slice is
+// shared; callers must not modify it.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Delivered returns the number of messages delivered so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// TransferDelay computes the one-way delay for a message of the given
+// size between two nodes: propagation latency (region pair, jittered) +
+// transmission time at the slower endpoint + fixed overhead.
+func (n *Network) TransferDelay(from, to *Node, size int) time.Duration {
+	lat := n.latency.Sample(n.rng, from.Region, to.Region)
+	bw := from.Bandwidth
+	if to.Bandwidth < bw {
+		bw = to.Bandwidth
+	}
+	transmit := time.Duration(float64(size) / bw * float64(time.Second))
+	return lat + transmit + n.MinOverhead
+}
+
+// Send schedules the delivery of a message of the given size from one
+// node to another; deliver runs at the receive time.
+func (n *Network) Send(from, to *Node, size int, deliver func()) {
+	d := n.TransferDelay(from, to, size)
+	n.engine.After(d, func() {
+		n.delivered++
+		deliver()
+	})
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Latency returns the latency model (read-only use).
+func (n *Network) Latency() *geo.LatencyModel { return n.latency }

@@ -1,0 +1,334 @@
+// Package stats provides the statistical primitives the analysis
+// pipeline needs: streaming summaries, quantiles, histograms and
+// empirical CDFs. It replaces the pandas/NumPy post-processing the
+// paper used (§II) with pure-Go equivalents.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic is requested from an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds streaming moments computed with Welford's algorithm,
+// plus min/max. The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge combines another summary into s (parallel Welford merge).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	mean := s.mean + delta*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Sample is an accumulating collection of float64 observations that
+// supports exact quantiles. It keeps all points; use it for the sample
+// sizes this project deals with (≤ tens of millions).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// FromSlice wraps a copy of xs in a Sample.
+func FromSlice(xs []float64) *Sample {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	return &Sample{xs: cp}
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations in insertion order when the
+// sample has never been sorted, otherwise in ascending order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear
+// interpolation between closest ranks (the same method as NumPy's
+// default "linear" interpolation).
+func (s *Sample) Quantile(q float64) (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %f out of range [0,1]", q)
+	}
+	s.ensureSorted()
+	if len(s.xs) == 1 {
+		return s.xs[0], nil
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac, nil
+}
+
+// MustQuantile is Quantile but returns 0 on an empty sample. Convenient
+// in report rendering where an empty series prints as zeros.
+func (s *Sample) MustQuantile(q float64) float64 {
+	v, err := s.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() (float64, error) { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs)), nil
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s.ensureSorted()
+	return s.xs[0], nil
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() (float64, error) {
+	if len(s.xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1], nil
+}
+
+// CountAtMost returns how many observations are ≤ x.
+func (s *Sample) CountAtMost(x float64) int {
+	s.ensureSorted()
+	return sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+}
+
+// FractionAtMost returns the empirical CDF evaluated at x.
+func (s *Sample) FractionAtMost(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return float64(s.CountAtMost(x)) / float64(len(s.xs))
+}
+
+// Histogram is a fixed-width bucketed histogram over [Lo, Hi). Values
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	Lo, Hi    float64
+	Buckets   []int
+	Underflow int
+	Overflow  int
+	total     int
+}
+
+// NewHistogram creates a histogram over [lo, hi) with n buckets.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket, got %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%f,%f) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.Lo {
+		h.Underflow++
+		return
+	}
+	if x >= h.Hi {
+		h.Overflow++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i >= len(h.Buckets) { // guard against float rounding at the edge
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + float64(i)*width, h.Lo + float64(i+1)*width
+}
+
+// Density returns the fraction of all observations in bucket i (the PDF
+// value the paper plots in Figure 1).
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.total)
+}
+
+// CDF is an empirical cumulative distribution function built from a
+// sample, queryable at arbitrary points and exportable as plot series.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from a copy of xs.
+func NewCDF(xs []float64) *CDF {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return &CDF{sorted: cp}
+}
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// InverseAt returns the smallest x with P(X ≤ x) ≥ p.
+func (c *CDF) InverseAt(p float64) (float64, error) {
+	if len(c.sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if p <= 0 {
+		return c.sorted[0], nil
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1], nil
+	}
+	idx := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.sorted[idx], nil
+}
+
+// N returns the number of points backing the CDF.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Series samples the CDF at n evenly spaced x positions across the data
+// range, returning (xs, ps) suitable for text plotting.
+func (c *CDF) Series(n int) ([]float64, []float64) {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	xs := make([]float64, n)
+	ps := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		xs[i] = x
+		ps[i] = c.At(x)
+	}
+	return xs, ps
+}

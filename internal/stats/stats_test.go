@@ -1,0 +1,397 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %f, want 5", s.Mean())
+	}
+	// Known population variance 4 → sample variance 32/7.
+	if got, want := s.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("variance = %f, want %f", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("stddev = %f", got)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+}
+
+func TestSummaryMergeMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var bulk, a, b Summary
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		bulk.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != bulk.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), bulk.N())
+	}
+	if math.Abs(a.Mean()-bulk.Mean()) > 1e-9 {
+		t.Errorf("merged mean %f vs bulk %f", a.Mean(), bulk.Mean())
+	}
+	if math.Abs(a.Variance()-bulk.Variance()) > 1e-9 {
+		t.Errorf("merged variance %f vs bulk %f", a.Variance(), bulk.Variance())
+	}
+	if a.Min() != bulk.Min() || a.Max() != bulk.Max() {
+		t.Error("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Merge(&b) // both empty: no-op
+	if a.N() != 0 {
+		t.Fatal("merging empties changed N")
+	}
+	b.Add(3)
+	a.Merge(&b)
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := FromSlice([]float64{10, 20, 30, 40})
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{1, 40},
+		{0.5, 25}, // linear interpolation between 20 and 30
+		{0.25, 17.5},
+		{1.0 / 3.0, 20},
+	}
+	for _, tt := range tests {
+		got, err := s.Quantile(tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%f): %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%f) = %f, want %f", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestSampleQuantileErrors(t *testing.T) {
+	s := NewSample(0)
+	if _, err := s.Quantile(0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty quantile err = %v, want ErrEmpty", err)
+	}
+	s.Add(1)
+	if _, err := s.Quantile(-0.1); err == nil {
+		t.Error("q<0 must error")
+	}
+	if _, err := s.Quantile(1.1); err == nil {
+		t.Error("q>1 must error")
+	}
+	if got := s.MustQuantile(0.5); got != 1 {
+		t.Errorf("MustQuantile = %f", got)
+	}
+	if got := NewSample(0).MustQuantile(0.5); got != 0 {
+		t.Errorf("MustQuantile on empty = %f, want 0", got)
+	}
+}
+
+func TestSampleSingleValue(t *testing.T) {
+	s := FromSlice([]float64{7})
+	for _, q := range []float64{0, 0.3, 0.5, 1} {
+		if got, _ := s.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%f) = %f", q, got)
+		}
+	}
+}
+
+func TestSampleMinMaxMeanMedian(t *testing.T) {
+	s := FromSlice([]float64{5, 1, 9, 3})
+	if got, _ := s.Min(); got != 1 {
+		t.Errorf("min %f", got)
+	}
+	if got, _ := s.Max(); got != 9 {
+		t.Errorf("max %f", got)
+	}
+	if got, _ := s.Mean(); got != 4.5 {
+		t.Errorf("mean %f", got)
+	}
+	if got, _ := s.Median(); got != 4 {
+		t.Errorf("median %f", got)
+	}
+	var empty Sample
+	for _, fn := range []func() (float64, error){empty.Min, empty.Max, empty.Mean, empty.Median} {
+		if _, err := fn(); !errors.Is(err, ErrEmpty) {
+			t.Error("empty sample stats must return ErrEmpty")
+		}
+	}
+}
+
+func TestSampleCounts(t *testing.T) {
+	s := FromSlice([]float64{1, 2, 2, 3, 10})
+	if got := s.CountAtMost(2); got != 3 {
+		t.Errorf("CountAtMost(2) = %d, want 3", got)
+	}
+	if got := s.CountAtMost(0.5); got != 0 {
+		t.Errorf("CountAtMost(0.5) = %d", got)
+	}
+	if got := s.FractionAtMost(3); got != 0.8 {
+		t.Errorf("FractionAtMost(3) = %f", got)
+	}
+	var empty Sample
+	if got := empty.FractionAtMost(1); got != 0 {
+		t.Errorf("empty FractionAtMost = %f", got)
+	}
+}
+
+func TestSampleValuesIsCopy(t *testing.T) {
+	s := FromSlice([]float64{1, 2, 3})
+	v := s.Values()
+	v[0] = 99
+	if got, _ := s.Min(); got != 1 {
+		t.Error("Values() must not alias internal storage")
+	}
+}
+
+func TestHistogramPlacement(t *testing.T) {
+	h, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-1)   // underflow
+	h.Add(0)    // bucket 0
+	h.Add(9.99) // bucket 0
+	h.Add(10)   // bucket 1
+	h.Add(99.9) // bucket 9
+	h.Add(100)  // overflow
+	h.Add(250)  // overflow
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/overflow = %d/%d", h.Underflow, h.Overflow)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[9] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	lo, hi := h.BucketBounds(3)
+	if lo != 30 || hi != 40 {
+		t.Errorf("BucketBounds(3) = %f,%f", lo, hi)
+	}
+}
+
+func TestHistogramDensitySumsToOne(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Float64() * 10)
+	}
+	sum := 0.0
+	for i := range h.Buckets {
+		sum += h.Density(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("densities sum to %f", sum)
+	}
+}
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets must error")
+	}
+	if _, err := NewHistogram(10, 10, 4); err == nil {
+		t.Error("empty range must error")
+	}
+	if _, err := NewHistogram(10, 5, 4); err == nil {
+		t.Error("inverted range must error")
+	}
+}
+
+func TestHistogramEmptyDensity(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 2)
+	if h.Density(0) != 0 {
+		t.Error("empty histogram density should be 0")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); got != tt.want {
+			t.Errorf("At(%f) = %f, want %f", tt.x, got, tt.want)
+		}
+	}
+	if NewCDF(nil).At(1) != 0 {
+		t.Error("empty CDF At should be 0")
+	}
+}
+
+func TestCDFInverse(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {0.25, 10}, {0.26, 20}, {0.5, 20}, {0.75, 30}, {1, 40},
+	}
+	for _, tt := range tests {
+		got, err := c.InverseAt(tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("InverseAt(%f) = %f, want %f", tt.p, got, tt.want)
+		}
+	}
+	if _, err := NewCDF(nil).InverseAt(0.5); !errors.Is(err, ErrEmpty) {
+		t.Error("empty inverse must return ErrEmpty")
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	xs, ps := c.Series(11)
+	if len(xs) != 11 || len(ps) != 11 {
+		t.Fatalf("series lengths %d/%d", len(xs), len(ps))
+	}
+	if xs[0] != 0 || xs[10] != 10 {
+		t.Errorf("x range [%f, %f]", xs[0], xs[10])
+	}
+	if ps[10] != 1 {
+		t.Errorf("final p = %f", ps[10])
+	}
+	if xs2, _ := NewCDF(nil).Series(5); xs2 != nil {
+		t.Error("empty CDF series should be nil")
+	}
+}
+
+// Property: quantiles are monotonic in q and bracketed by min/max.
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		s := FromSlice(raw)
+		v1, err1 := s.Quantile(q1)
+		v2, err2 := s.Quantile(q2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lo, _ := s.Min()
+		hi, _ := s.Max()
+		return v1 <= v2 && v1 >= lo && v2 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the empirical CDF is nondecreasing and within [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, probes []float64) bool {
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		c := NewCDF(raw)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summary.Merge is order-insensitive for mean and N.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			var out []float64
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var s1, s2, t1, t2 Summary
+		for _, x := range a {
+			s1.Add(x)
+			t2.Add(x)
+		}
+		for _, x := range b {
+			s2.Add(x)
+			t1.Add(x)
+		}
+		s1.Merge(&s2) // a then b
+		t1.Merge(&t2) // b then a
+		if s1.N() != t1.N() {
+			return false
+		}
+		if s1.N() == 0 {
+			return true
+		}
+		return math.Abs(s1.Mean()-t1.Mean()) < 1e-6*(1+math.Abs(s1.Mean()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package txpool implements a miner-side transaction pool with
+// Ethereum's per-sender nonce ordering. A transaction is executable
+// only when every lower nonce from the same sender is either already
+// included in the chain or present in the pool ahead of it; otherwise
+// it stalls (a "nonce gap"). Out-of-order arrivals therefore delay
+// commits, the effect the paper quantifies in §III-C2 / Figure 5.
+package txpool
+
+import (
+	"sort"
+
+	"ethmeasure/internal/types"
+)
+
+// Pool holds pending transactions for one miner (pool gateway).
+type Pool struct {
+	pending  map[types.AccountID][]*types.Transaction // sorted by nonce
+	byHash   map[types.Hash]*types.Transaction
+	nextOnce map[types.AccountID]uint64 // next includable nonce per sender
+	included map[types.Hash]bool        // txs included in the miner's chain
+}
+
+// New creates an empty pool.
+func New() *Pool {
+	return &Pool{
+		pending:  make(map[types.AccountID][]*types.Transaction),
+		byHash:   make(map[types.Hash]*types.Transaction),
+		nextOnce: make(map[types.AccountID]uint64),
+		included: make(map[types.Hash]bool),
+	}
+}
+
+// Len returns the number of pending (not yet included) transactions.
+func (p *Pool) Len() int { return len(p.byHash) }
+
+// Has reports whether the pool currently holds tx (pending).
+func (p *Pool) Has(h types.Hash) bool {
+	_, ok := p.byHash[h]
+	return ok
+}
+
+// Add inserts a transaction. Duplicates, already-included transactions
+// and stale nonces (below the sender's next includable nonce) are
+// rejected. It reports whether the transaction was accepted.
+func (p *Pool) Add(tx *types.Transaction) bool {
+	if _, dup := p.byHash[tx.Hash]; dup {
+		return false
+	}
+	if p.included[tx.Hash] {
+		return false
+	}
+	if tx.Nonce < p.nextOnce[tx.Sender] {
+		return false // stale: a tx with this nonce already committed
+	}
+	list := p.pending[tx.Sender]
+	// Insert keeping the per-sender list sorted by nonce; replace an
+	// existing same-nonce tx only if the newcomer pays more.
+	i := sort.Search(len(list), func(i int) bool { return list[i].Nonce >= tx.Nonce })
+	if i < len(list) && list[i].Nonce == tx.Nonce {
+		if tx.GasPrice <= list[i].GasPrice {
+			return false
+		}
+		delete(p.byHash, list[i].Hash)
+		list[i] = tx
+	} else {
+		list = append(list, nil)
+		copy(list[i+1:], list[i:])
+		list[i] = tx
+	}
+	p.pending[tx.Sender] = list
+	p.byHash[tx.Hash] = tx
+	return true
+}
+
+// Executable returns up to max transactions that can legally be
+// included in the next block: for each sender, the maximal prefix of
+// consecutive nonces starting at the sender's next includable nonce.
+// Among executable transactions, higher gas prices are selected first
+// (price-sorted selection, as in Geth's miner).
+func (p *Pool) Executable(max int) []*types.Transaction {
+	if max <= 0 {
+		return nil
+	}
+	type senderQueue struct {
+		txs []*types.Transaction // executable prefix, ascending nonce
+		idx int
+	}
+	var queues []*senderQueue
+	for sender, list := range p.pending {
+		next := p.nextOnce[sender]
+		var prefix []*types.Transaction
+		for _, tx := range list {
+			if tx.Nonce != next {
+				break // gap: the rest of this sender's txs stall
+			}
+			prefix = append(prefix, tx)
+			next++
+		}
+		if len(prefix) > 0 {
+			queues = append(queues, &senderQueue{txs: prefix})
+		}
+	}
+	// Deterministic order across map iteration.
+	sort.Slice(queues, func(i, j int) bool {
+		return queues[i].txs[0].Sender < queues[j].txs[0].Sender
+	})
+
+	out := make([]*types.Transaction, 0, max)
+	for len(out) < max {
+		// Pick the head with the highest gas price; ties go to the
+		// oldest transaction (price-then-time ordering, as in Geth's
+		// miner — without the time tie-break, same-price senders can
+		// starve arbitrarily long under sustained load).
+		best := -1
+		for i, q := range queues {
+			if q.idx >= len(q.txs) {
+				continue
+			}
+			if best == -1 || txPriorityLess(queues[best].txs[queues[best].idx], q.txs[q.idx]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, queues[best].txs[queues[best].idx])
+		queues[best].idx++
+	}
+	return out
+}
+
+// txPriorityLess reports whether a has lower inclusion priority than b:
+// higher gas price wins, then earlier creation, then lower sender ID
+// (a stable total order).
+func txPriorityLess(a, b *types.Transaction) bool {
+	if a.GasPrice != b.GasPrice {
+		return a.GasPrice < b.GasPrice
+	}
+	if a.Created != b.Created {
+		return a.Created > b.Created
+	}
+	return a.Sender > b.Sender
+}
+
+// MarkIncluded records that the given transactions were included in the
+// miner's chain, removing them from the pending set and advancing
+// per-sender nonces.
+func (p *Pool) MarkIncluded(txs []*types.Transaction) {
+	for _, tx := range txs {
+		p.included[tx.Hash] = true
+		if tx.Nonce+1 > p.nextOnce[tx.Sender] {
+			p.nextOnce[tx.Sender] = tx.Nonce + 1
+		}
+		p.removePending(tx)
+	}
+}
+
+// UnmarkIncluded returns transactions to the pending set after their
+// containing block was abandoned in a reorg. Nonces are recomputed
+// conservatively: the sender's next includable nonce drops back if the
+// reverted tx sits below it.
+func (p *Pool) UnmarkIncluded(txs []*types.Transaction) {
+	for _, tx := range txs {
+		if !p.included[tx.Hash] {
+			continue
+		}
+		delete(p.included, tx.Hash)
+		if p.nextOnce[tx.Sender] > tx.Nonce {
+			p.nextOnce[tx.Sender] = tx.Nonce
+		}
+		p.Add(tx)
+	}
+}
+
+// WasIncluded reports whether tx has been included in the miner's chain.
+func (p *Pool) WasIncluded(h types.Hash) bool { return p.included[h] }
+
+// NextNonce returns the next includable nonce for a sender.
+func (p *Pool) NextNonce(a types.AccountID) uint64 { return p.nextOnce[a] }
+
+func (p *Pool) removePending(tx *types.Transaction) {
+	if _, ok := p.byHash[tx.Hash]; !ok {
+		return
+	}
+	delete(p.byHash, tx.Hash)
+	list := p.pending[tx.Sender]
+	i := sort.Search(len(list), func(i int) bool { return list[i].Nonce >= tx.Nonce })
+	if i < len(list) && list[i].Hash == tx.Hash {
+		list = append(list[:i], list[i+1:]...)
+		if len(list) == 0 {
+			delete(p.pending, tx.Sender)
+		} else {
+			p.pending[tx.Sender] = list
+		}
+	}
+}
+
+// PendingOf returns the pending transactions of one sender in nonce
+// order (diagnostics and tests).
+func (p *Pool) PendingOf(a types.AccountID) []*types.Transaction {
+	list := p.pending[a]
+	out := make([]*types.Transaction, len(list))
+	copy(out, list)
+	return out
+}

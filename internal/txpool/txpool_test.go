@@ -1,0 +1,266 @@
+package txpool
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ethmeasure/internal/types"
+)
+
+var nextHash types.Hash = 1
+
+func tx(sender types.AccountID, nonce uint64, price uint64) *types.Transaction {
+	nextHash++
+	return &types.Transaction{
+		Hash:     nextHash,
+		Sender:   sender,
+		Nonce:    nonce,
+		GasPrice: price,
+		Size:     types.TxSize,
+	}
+}
+
+func TestAddAndHas(t *testing.T) {
+	p := New()
+	a := tx(1, 0, 10)
+	if !p.Add(a) {
+		t.Fatal("fresh tx rejected")
+	}
+	if !p.Has(a.Hash) {
+		t.Error("Has should report pending tx")
+	}
+	if p.Add(a) {
+		t.Error("duplicate accepted")
+	}
+	if p.Len() != 1 {
+		t.Errorf("len = %d", p.Len())
+	}
+}
+
+func TestAddRejectsStaleNonce(t *testing.T) {
+	p := New()
+	a := tx(1, 0, 10)
+	p.Add(a)
+	p.MarkIncluded([]*types.Transaction{a})
+	if p.Add(tx(1, 0, 99)) {
+		t.Error("stale nonce accepted after inclusion")
+	}
+	if !p.Add(tx(1, 1, 1)) {
+		t.Error("next nonce rejected")
+	}
+}
+
+func TestAddReplaceByPrice(t *testing.T) {
+	p := New()
+	low := tx(1, 0, 10)
+	p.Add(low)
+	sameLow := tx(1, 0, 10)
+	if p.Add(sameLow) {
+		t.Error("equal-price replacement accepted")
+	}
+	high := tx(1, 0, 20)
+	if !p.Add(high) {
+		t.Fatal("higher-price replacement rejected")
+	}
+	if p.Has(low.Hash) {
+		t.Error("replaced tx still present")
+	}
+	got := p.Executable(1)
+	if len(got) != 1 || got[0].Hash != high.Hash {
+		t.Errorf("executable = %v", got)
+	}
+}
+
+func TestExecutableNonceOrderAndGap(t *testing.T) {
+	p := New()
+	t0 := tx(1, 0, 5)
+	t2 := tx(1, 2, 50) // gap at nonce 1
+	p.Add(t0)
+	p.Add(t2)
+	got := p.Executable(10)
+	if len(got) != 1 || got[0].Hash != t0.Hash {
+		t.Fatalf("executable with gap = %v", got)
+	}
+	// Filling the gap unlocks the stalled tx.
+	t1 := tx(1, 1, 1)
+	p.Add(t1)
+	got = p.Executable(10)
+	if len(got) != 3 {
+		t.Fatalf("executable after fill = %d txs", len(got))
+	}
+	for i, want := range []uint64{0, 1, 2} {
+		if got[i].Nonce != want {
+			t.Errorf("position %d nonce %d, want %d (nonce order must override price)", i, got[i].Nonce, want)
+		}
+	}
+}
+
+func TestExecutablePriceOrderAcrossSenders(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 5))
+	p.Add(tx(2, 0, 50))
+	p.Add(tx(3, 0, 20))
+	got := p.Executable(10)
+	if len(got) != 3 {
+		t.Fatalf("executable = %d", len(got))
+	}
+	prices := []uint64{got[0].GasPrice, got[1].GasPrice, got[2].GasPrice}
+	if prices[0] != 50 || prices[1] != 20 || prices[2] != 5 {
+		t.Errorf("price order = %v", prices)
+	}
+}
+
+func TestExecutableTimeTieBreak(t *testing.T) {
+	p := New()
+	older := tx(5, 0, 10)
+	older.Created = 1 * time.Second
+	newer := tx(2, 0, 10) // lower sender ID but later arrival
+	newer.Created = 9 * time.Second
+	p.Add(newer)
+	p.Add(older)
+	got := p.Executable(2)
+	if len(got) != 2 || got[0].Hash != older.Hash {
+		t.Error("same-price txs must be ordered by arrival time")
+	}
+}
+
+func TestExecutableRespectsMax(t *testing.T) {
+	p := New()
+	for i := 0; i < 10; i++ {
+		p.Add(tx(types.AccountID(i+1), 0, uint64(i+1)))
+	}
+	if got := p.Executable(4); len(got) != 4 {
+		t.Errorf("max ignored: %d", len(got))
+	}
+	if got := p.Executable(0); got != nil {
+		t.Error("max 0 should return nil")
+	}
+	if got := p.Executable(-1); got != nil {
+		t.Error("negative max should return nil")
+	}
+}
+
+func TestMarkIncludedAdvancesAndRemoves(t *testing.T) {
+	p := New()
+	a := tx(1, 0, 10)
+	b := tx(1, 1, 10)
+	p.Add(a)
+	p.Add(b)
+	p.MarkIncluded([]*types.Transaction{a})
+	if p.NextNonce(1) != 1 {
+		t.Errorf("next nonce = %d", p.NextNonce(1))
+	}
+	if p.Has(a.Hash) {
+		t.Error("included tx still pending")
+	}
+	if !p.WasIncluded(a.Hash) {
+		t.Error("WasIncluded false")
+	}
+	got := p.Executable(10)
+	if len(got) != 1 || got[0].Hash != b.Hash {
+		t.Errorf("executable = %v", got)
+	}
+}
+
+func TestUnmarkIncludedRestores(t *testing.T) {
+	p := New()
+	a := tx(1, 0, 10)
+	b := tx(1, 1, 10)
+	p.Add(a)
+	p.Add(b)
+	p.MarkIncluded([]*types.Transaction{a, b})
+	if p.Len() != 0 {
+		t.Fatalf("pending after inclusion = %d", p.Len())
+	}
+	// Reorg reverts the block containing b only.
+	p.UnmarkIncluded([]*types.Transaction{b})
+	if p.NextNonce(1) != 1 {
+		t.Errorf("next nonce = %d, want rollback to 1", p.NextNonce(1))
+	}
+	got := p.Executable(10)
+	if len(got) != 1 || got[0].Hash != b.Hash {
+		t.Errorf("executable after revert = %v", got)
+	}
+	if p.WasIncluded(b.Hash) {
+		t.Error("reverted tx still marked included")
+	}
+	// Unmarking something never included is a no-op.
+	c := tx(2, 0, 1)
+	p.UnmarkIncluded([]*types.Transaction{c})
+	if p.Has(c.Hash) {
+		t.Error("unmark of unknown tx added it")
+	}
+}
+
+func TestPendingOf(t *testing.T) {
+	p := New()
+	a := tx(1, 1, 10)
+	b := tx(1, 0, 10)
+	p.Add(a)
+	p.Add(b)
+	got := p.PendingOf(1)
+	if len(got) != 2 || got[0].Nonce != 0 || got[1].Nonce != 1 {
+		t.Errorf("PendingOf = %v", got)
+	}
+	if len(p.PendingOf(42)) != 0 {
+		t.Error("unknown sender should have no pending")
+	}
+}
+
+func TestExecutableDoesNotMutatePool(t *testing.T) {
+	p := New()
+	p.Add(tx(1, 0, 10))
+	first := p.Executable(10)
+	second := p.Executable(10)
+	if len(first) != 1 || len(second) != 1 {
+		t.Error("Executable must be a read-only selection")
+	}
+}
+
+// Property: Executable never returns included txs, never violates
+// per-sender nonce contiguity, and never exceeds max.
+func TestExecutableInvariantsProperty(t *testing.T) {
+	f := func(ops []struct {
+		Sender uint8
+		Nonce  uint8
+		Price  uint8
+		Mark   bool
+	}, max uint8) bool {
+		p := New()
+		var added []*types.Transaction
+		for _, op := range ops {
+			sender := types.AccountID(op.Sender%5 + 1)
+			candidate := tx(sender, uint64(op.Nonce%8), uint64(op.Price))
+			if p.Add(candidate) {
+				added = append(added, candidate)
+			}
+			if op.Mark && len(added) > 0 {
+				p.MarkIncluded(added[:1])
+				added = added[1:]
+			}
+		}
+		m := int(max%16) + 1
+		out := p.Executable(m)
+		if len(out) > m {
+			return false
+		}
+		next := make(map[types.AccountID]uint64)
+		for s := types.AccountID(1); s <= 5; s++ {
+			next[s] = p.NextNonce(s)
+		}
+		for _, got := range out {
+			if p.WasIncluded(got.Hash) {
+				return false
+			}
+			if got.Nonce != next[got.Sender] {
+				return false // gap or disorder within sender
+			}
+			next[got.Sender]++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashIssuerUnique(t *testing.T) {
+	issuer := NewHashIssuer(1)
+	seen := make(map[Hash]bool)
+	for i := 0; i < 100000; i++ {
+		h := issuer.Next()
+		if h.IsZero() {
+			t.Fatal("issued zero hash")
+		}
+		if seen[h] {
+			t.Fatalf("duplicate hash %s", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHashIssuerSaltsDisjoint(t *testing.T) {
+	a := NewHashIssuer(1)
+	b := NewHashIssuer(2)
+	fromA := make(map[Hash]bool)
+	for i := 0; i < 10000; i++ {
+		fromA[a.Next()] = true
+	}
+	for i := 0; i < 10000; i++ {
+		if h := b.Next(); fromA[h] {
+			t.Fatalf("salted issuers collided at %s", h)
+		}
+	}
+}
+
+func TestHashString(t *testing.T) {
+	h := Hash(0xabc)
+	if got := h.String(); got != "0x000000000abc" {
+		t.Errorf("String() = %q", got)
+	}
+	var zero Hash
+	if !zero.IsZero() {
+		t.Error("zero hash should report IsZero")
+	}
+	if Hash(1).IsZero() {
+		t.Error("nonzero hash reported IsZero")
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	if got := NodeID(3).String(); got != "node-3" {
+		t.Errorf("NodeID.String() = %q", got)
+	}
+	if got := PoolID(2).String(); got != "pool-2" {
+		t.Errorf("PoolID.String() = %q", got)
+	}
+	if got := AccountID(7).String(); got != "acct-7" {
+		t.Errorf("AccountID.String() = %q", got)
+	}
+}
+
+func TestBlockEmpty(t *testing.T) {
+	b := &Block{}
+	if !b.Empty() {
+		t.Error("block without txs should be empty")
+	}
+	b.TxHashes = []Hash{1}
+	if b.Empty() {
+		t.Error("block with txs reported empty")
+	}
+}
+
+func TestBlockSizeMonotonic(t *testing.T) {
+	if BlockSize(0) <= 0 {
+		t.Error("empty block must still have positive size")
+	}
+	prev := BlockSize(0)
+	for n := 1; n <= 300; n += 37 {
+		s := BlockSize(n)
+		if s <= prev {
+			t.Fatalf("BlockSize(%d) = %d not increasing", n, s)
+		}
+		prev = s
+	}
+}
+
+// Property: sequentially issued hashes are strictly increasing, which
+// the registry relies on for deterministic ordering.
+func TestHashIssuerMonotonicProperty(t *testing.T) {
+	f := func(salt uint8, n uint8) bool {
+		issuer := NewHashIssuer(uint64(salt))
+		prev := Hash(0)
+		for i := 0; i < int(n)+1; i++ {
+			h := issuer.Next()
+			if h <= prev {
+				return false
+			}
+			prev = h
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
