@@ -69,8 +69,7 @@ func run(args []string) error {
 	}
 	if *txRate > 0 {
 		cfg.TxGen.Rate = *txRate
-		cfg.Mining.BlockCapacity = core.DeriveBlockCapacity(cfg.TxGen.EffectiveRate(), cfg.Mining.InterBlockTime, 0.8)
-		cfg.TxGen.MempoolFloor = cfg.Mining.BlockCapacity * 3 / 2
+		core.ApplyCapacity(&cfg)
 	}
 	if *noTx {
 		cfg.EnableTxWorkload = false

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-preset", "bogus"},
+		{"-seeds", "0"},
+		{"-vary", "nodes"},
+		{"-vary", "nodes=abc"},
+		{"-vary", "discovery=maybe"},
+		{"-vary", "pools=bogus"},
+		{"-vary", "churn=bogus"},
+		{"-vary", "txrate=x"},
+		{"-vary", "duration=x"},
+		{"-vary", "unknown=1"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	ax, err := parseAxis("nodes=60, 120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Name != "nodes" || len(ax.Variants) != 2 || ax.Variants[1].Name != "120" {
+		t.Errorf("axis = %+v", ax)
+	}
+	ax, err = parseAxis("duration=10m,1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ax.Variants) != 2 || ax.Variants[0].Name != "10m0s" {
+		t.Errorf("duration axis = %+v", ax)
+	}
+}
+
+func TestRunTinySweepWithJSON(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "agg.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "quick", "-duration", "2m", "-nodes", "45", "-no-tx",
+		"-seeds", "2", "-quiet", "-json", jsonPath,
+		"-vary", "discovery=off,on",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	for _, want := range []string{"4 runs", "scenario discovery=off", "scenario discovery=on", "± "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Scenarios []struct {
+			Scenario string  `json:"scenario"`
+			Seeds    []int64 `json:"seeds"`
+			Metrics  []struct {
+				Metric string  `json:"metric"`
+				N      int     `json:"n"`
+				Mean   float64 `json:"mean"`
+				CI95   float64 `json:"ci95"`
+			} `json:"metrics"`
+		} `json:"scenarios"`
+		Runs   int `json:"runs"`
+		Failed int `json:"failed"`
+	}
+	if err := json.Unmarshal(data, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 4 || agg.Failed != 0 || len(agg.Scenarios) != 2 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	found := false
+	for _, m := range agg.Scenarios[0].Metrics {
+		if m.Metric == "propagation_median_ms" {
+			found = true
+			if m.N != 2 || m.Mean <= 0 {
+				t.Errorf("propagation summary = %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Error("propagation_median_ms missing from JSON")
+	}
+	if len(agg.Scenarios[0].Seeds) != 2 || agg.Scenarios[0].Seeds[0] != 1 {
+		t.Errorf("seeds = %v", agg.Scenarios[0].Seeds)
+	}
+}
+
+func TestRunSeedBaseOffset(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "quick", "-duration", "90s", "-nodes", "45", "-no-tx",
+		"-seeds", "1", "-seed", "42", "-quiet", "-json", "-",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "42") {
+		t.Errorf("seed base not honored:\n%s", buf.String())
+	}
+}

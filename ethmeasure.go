@@ -26,6 +26,7 @@
 package ethmeasure
 
 import (
+	"context"
 	"io"
 
 	"ethmeasure/internal/analysis"
@@ -34,6 +35,7 @@ import (
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
 	"ethmeasure/internal/report"
+	"ethmeasure/internal/sweep"
 	"ethmeasure/internal/types"
 )
 
@@ -153,6 +155,50 @@ func AnalyzeFinality(winners []PoolID, poolNames []string, maxDepth int) *Finali
 
 // WriteFinality renders a finality analysis to w.
 func WriteFinality(w io.Writer, r *FinalityResult) { report.Finality(w, r) }
+
+// Sweep types: multi-seed, multi-scenario campaign fleets with
+// cross-seed aggregate statistics (see internal/sweep).
+type (
+	// SweepMatrix expands a base Config across seeds and scenario axes.
+	SweepMatrix = sweep.Matrix
+	// SweepAxis is one scenario dimension of a sweep matrix.
+	SweepAxis = sweep.Axis
+	// SweepVariant is one setting of a sweep axis.
+	SweepVariant = sweep.Variant
+	// SweepRunner executes a matrix's campaigns on a worker pool.
+	SweepRunner = sweep.Runner
+	// SweepRunResult is one campaign's outcome within a sweep.
+	SweepRunResult = sweep.RunResult
+	// SweepAggregate is the cross-seed summary of a whole sweep.
+	SweepAggregate = sweep.AggregateResult
+	// KeyMetrics is the flat map of one run's headline scalars.
+	KeyMetrics = analysis.KeyMetrics
+)
+
+// SweepSeeds returns n consecutive seeds starting at base.
+func SweepSeeds(base int64, n int) []int64 { return sweep.Seeds(base, n) }
+
+// SweepNodes varies the regular node count across a sweep.
+func SweepNodes(counts ...int) SweepAxis { return sweep.Nodes(counts...) }
+
+// SweepDiscovery varies the topology-construction mechanism.
+func SweepDiscovery(vals ...bool) SweepAxis { return sweep.Discovery(vals...) }
+
+// SweepPoolSplits varies the pool population / hash-rate split
+// ("paper", "uniform", "equal", "majority").
+func SweepPoolSplits(kinds ...string) (SweepAxis, error) { return sweep.PoolSplits(kinds...) }
+
+// SweepChurnProfiles varies node turnover ("none", "default", "heavy").
+func SweepChurnProfiles(kinds ...string) (SweepAxis, error) { return sweep.ChurnProfiles(kinds...) }
+
+// RunSweep expands the matrix, executes every campaign on up to
+// workers concurrent goroutines (GOMAXPROCS when workers <= 0), and
+// folds the per-run metrics into cross-seed mean ± 95% CI aggregates.
+// Equal seeds give equal runs, and parallelism never changes results:
+// the aggregate is identical to a serial loop over the same matrix.
+func RunSweep(ctx context.Context, m *SweepMatrix, workers int) (*SweepAggregate, []SweepRunResult, error) {
+	return sweep.Sweep(ctx, m, workers)
+}
 
 // DefaultChurnConfig returns the mild churn profile used by the churn
 // ablation (node restarts across the regular population).

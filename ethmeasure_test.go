@@ -1,6 +1,7 @@
 package ethmeasure
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -81,5 +82,50 @@ func TestPresetsExposed(t *testing.T) {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+func TestRunSweepFacade(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 2 * time.Minute
+	cfg.EnableTxWorkload = false
+	m := &SweepMatrix{
+		Base:  cfg,
+		Seeds: SweepSeeds(1, 2),
+		Axes:  []SweepAxis{SweepDiscovery(false, true)},
+	}
+	agg, results, err := RunSweep(context.Background(), m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || agg.Runs != 4 || agg.Failed != 0 {
+		t.Fatalf("sweep = %d results, agg %+v", len(results), agg)
+	}
+	if len(agg.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d", len(agg.Scenarios))
+	}
+	for _, s := range agg.Scenarios {
+		found := false
+		for _, met := range s.Metrics {
+			if met.Metric == "propagation_median_ms" && met.N == 2 && met.Mean > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %s lacks propagation summary: %+v", s.Scenario, s.Metrics)
+		}
+	}
+
+	poolAxis, err := SweepPoolSplits("paper", "equal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnAxis, err := SweepChurnProfiles("none", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeAxis := SweepNodes(60, 120)
+	if len(poolAxis.Variants) != 2 || len(churnAxis.Variants) != 2 || len(nodeAxis.Variants) != 2 {
+		t.Error("axis helpers returned wrong variant counts")
 	}
 }

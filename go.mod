@@ -1,0 +1,3 @@
+module ethmeasure
+
+go 1.21

@@ -21,7 +21,7 @@ func tinyConfig() Config {
 	}
 	cfg.TxGen.Rate = 0.3
 	cfg.TxGen.NumAccounts = 100
-	applyCapacity(&cfg)
+	ApplyCapacity(&cfg)
 	return cfg
 }
 

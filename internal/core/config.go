@@ -179,15 +179,17 @@ func DefaultConfig() Config {
 		EnableTxWorkload:  true,
 		Clock:             measure.DefaultClockModel(),
 	}
-	applyCapacity(&cfg)
+	ApplyCapacity(&cfg)
 	return cfg
 }
 
-// applyCapacity derives the block capacity from the effective workload
+// ApplyCapacity derives the block capacity from the effective workload
 // rate at the paper's ~80% utilization and sizes the mempool floor so
 // pools never run dry (mainnet's mempool always held a reservoir of
-// cheap pending transactions).
-func applyCapacity(cfg *Config) {
+// cheap pending transactions). Call it after changing TxGen.Rate or
+// Mining.InterBlockTime so the capacity stays consistent with the
+// workload (the presets, CLI overrides and sweep axes all do).
+func ApplyCapacity(cfg *Config) {
 	cfg.Mining.BlockCapacity = DeriveBlockCapacity(cfg.TxGen.EffectiveRate(), cfg.Mining.InterBlockTime, 0.8)
 	cfg.TxGen.MempoolFloor = cfg.Mining.BlockCapacity * 3 / 2
 }
@@ -206,7 +208,7 @@ func QuickConfig() Config {
 	}
 	cfg.TxGen.Rate = 0.5
 	cfg.TxGen.NumAccounts = 400
-	applyCapacity(&cfg)
+	ApplyCapacity(&cfg)
 	return cfg
 }
 
@@ -221,7 +223,7 @@ func PaperScaleConfig() Config {
 	cfg.OutDegree = 12
 	cfg.TxGen.Rate = 8.2 // paper: 21.96M txs over one month
 	cfg.TxGen.NumAccounts = 50_000
-	applyCapacity(&cfg)
+	ApplyCapacity(&cfg)
 	return cfg
 }
 

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/types"
+)
+
+// fingerprint folds every observable output of a finished campaign —
+// the vantage record streams, the full block registry, and the
+// headline analysis numbers — into one hash. Byte-identical
+// fingerprints mean byte-identical runs.
+func fingerprint(c *Campaign, res *Results) string {
+	h := sha256.New()
+
+	for i := range c.recorder.Blocks {
+		r := &c.recorder.Blocks[i]
+		fmt.Fprintf(h, "B|%s|%d|%s|%d|%d|%s|%d|%s|%d|%d\n",
+			r.Vantage, r.At, r.Hash, r.Number, r.Miner, r.Parent, r.From, r.Kind, r.NTxs, r.Size)
+	}
+	for i := range c.recorder.Txs {
+		r := &c.recorder.Txs[i]
+		fmt.Fprintf(h, "T|%s|%d|%s|%d|%d|%d\n",
+			r.Vantage, r.At, r.Hash, r.Sender, r.Nonce, r.From)
+	}
+	c.registry.Blocks(func(b *types.Block) bool {
+		fmt.Fprintf(h, "C|%s|%s|%d|%d|%d|%d|%d\n",
+			b.Hash, b.ParentHash, b.Number, b.Miner, b.MinedAt, b.TotalDiff, len(b.TxHashes))
+		return true
+	})
+
+	// Key analysis numbers, printed with full float precision so any
+	// numeric drift shows up.
+	fmt.Fprintf(h, "prop|%d|%v|%v|%v|%v\n", res.Propagation.Blocks,
+		res.Propagation.MedianMs, res.Propagation.MeanMs, res.Propagation.P95Ms, res.Propagation.P99Ms)
+	fmt.Fprintf(h, "forks|%d|%d|%d|%v\n", res.Forks.TotalBlocks,
+		res.Forks.MainBlocks, res.Forks.RecognizedUncles, res.Forks.MainShare)
+	fmt.Fprintf(h, "empty|%d|%d|%v\n", res.Empty.MainBlocks, res.Empty.EmptyBlocks, res.Empty.EmptyShare)
+	fmt.Fprintf(h, "stats|%d|%d|%d|%d\n", res.Stats.Events, res.Stats.Messages,
+		res.Stats.BlocksCreated, res.Stats.TxsCreated)
+	if res.Commit != nil {
+		fmt.Fprintf(h, "commit|%d|%v\n", res.Commit.CommittedTxs, res.Commit.Median12Sec)
+	}
+	for _, name := range res.KeyMetrics().Names() {
+		fmt.Fprintf(h, "metric|%s|%v\n", name, res.KeyMetrics()[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// determinismConfig is QuickConfig, shrunk under -short so the three
+// runs this file performs stay cheap.
+func determinismConfig() Config {
+	cfg := QuickConfig()
+	if testing.Short() {
+		cfg.Duration = 8 * time.Minute
+		cfg.NumNodes = 60
+		cfg.OutDegree = 5
+		ApplyCapacity(&cfg)
+	}
+	return cfg
+}
+
+// TestCampaignFingerprintDeterministic is the determinism regression
+// contract: running the identical QuickConfig twice must reproduce
+// every record and headline number bit for bit, and a different seed
+// must not.
+func TestCampaignFingerprintDeterministic(t *testing.T) {
+	run := func(seed int64) string {
+		cfg := determinismConfig()
+		cfg.Seed = seed
+		campaign, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := campaign.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(campaign, res)
+	}
+
+	a := run(1)
+	b := run(1)
+	if a != b {
+		t.Fatalf("identical configs produced different fingerprints:\n%s\n%s", a, b)
+	}
+	c := run(2)
+	if a == c {
+		t.Fatalf("different seeds produced identical fingerprint %s", a)
+	}
+}

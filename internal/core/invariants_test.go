@@ -13,6 +13,9 @@ import (
 func TestCampaignInvariants(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Duration = 20 * time.Minute
+	if testing.Short() {
+		cfg.Duration = 10 * time.Minute
+	}
 	campaign, err := NewCampaign(cfg)
 	if err != nil {
 		t.Fatal(err)

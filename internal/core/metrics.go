@@ -1,0 +1,22 @@
+package core
+
+import "ethmeasure/internal/analysis"
+
+// KeyMetrics flattens the campaign's headline scalars into one named
+// map — the per-run unit that internal/sweep folds into cross-seed
+// mean/CI statistics. Analyses that were disabled (for example the
+// transaction pipeline under EnableTxWorkload=false) simply contribute
+// no entries, so sweeps across heterogeneous scenarios aggregate only
+// the metrics each run actually produced.
+func (r *Results) KeyMetrics() analysis.KeyMetrics {
+	m := make(analysis.KeyMetrics)
+	m.Merge(r.Propagation.KeyMetrics())
+	m.Merge(r.Forks.KeyMetrics())
+	m.Merge(r.OneMiner.KeyMetrics())
+	m.Merge(r.Empty.KeyMetrics())
+	m.Merge(r.Commit.KeyMetrics())
+	m.Merge(r.Ordering.KeyMetrics())
+	m.Merge(r.InterBlock.KeyMetrics())
+	m.Merge(r.Throughput.KeyMetrics())
+	return m
+}

@@ -87,6 +87,56 @@ func (s *Summary) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval
+// of the mean, using the Student-t critical value for n-1 degrees of
+// freedom. Cross-seed campaign sweeps report their aggregates as
+// mean ± CI95. Zero for fewer than two observations.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return TCritical95(s.n-1) * s.StdErr()
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1..30
+// degrees of freedom.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for
+// the given degrees of freedom: exact table values up to df=30, then
+// the conventional anchors at 40/60/120. Between anchors the value
+// for the next-LOWER tabulated df applies (standard table practice):
+// critical values shrink as df grows, so rounding df down keeps the
+// reported intervals conservative rather than narrower than nominal.
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return math.NaN()
+	case df <= len(tTable95):
+		return tTable95[df-1]
+	case df < 40:
+		return tTable95[len(tTable95)-1] // 2.042 (df=30)
+	case df < 60:
+		return 2.021 // df=40
+	case df < 120:
+		return 2.000 // df=60
+	default:
+		return 1.980 // df=120; within 1% of the normal limit 1.960
+	}
+}
+
 // Sample is an accumulating collection of float64 observations that
 // supports exact quantiles. It keeps all points; use it for the sample
 // sizes this project deals with (≤ tens of millions).

@@ -395,3 +395,60 @@ func TestSummaryMergeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {7, 2.365}, {30, 2.042},
+		// Between anchors the next-lower tabulated df applies, so the
+		// interval never under-covers.
+		{35, 2.042}, {40, 2.021}, {50, 2.021}, {60, 2.000},
+		{100, 2.000}, {120, 1.980}, {1000, 1.980},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsNaN(TCritical95(0)) {
+		t.Error("TCritical95(0) must be NaN")
+	}
+	// Critical values must decrease monotonically toward the normal
+	// limit as degrees of freedom grow.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCritical95(df)
+		if v > prev {
+			t.Fatalf("TCritical95 not monotone at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+	if prev < 1.980 {
+		t.Errorf("limit %v below the df=120 anchor", prev)
+	}
+}
+
+func TestSummaryCI95(t *testing.T) {
+	var s Summary
+	if s.CI95() != 0 {
+		t.Error("empty summary must have zero CI")
+	}
+	s.Add(10)
+	if s.CI95() != 0 {
+		t.Error("single observation must have zero CI")
+	}
+	for _, x := range []float64{12, 14, 16} {
+		s.Add(x)
+	}
+	// {10,12,14,16}: sd = sqrt(20/3), se = sd/2, t(3) = 3.182.
+	sd := math.Sqrt(20.0 / 3.0)
+	if got := s.StdErr(); math.Abs(got-sd/2) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", got, sd/2)
+	}
+	want := 3.182 * sd / 2
+	if got := s.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}

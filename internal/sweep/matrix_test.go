@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"ethmeasure/internal/core"
+)
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(10, 3)
+	want := []int64{10, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Seeds(10,3) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Seeds(10,3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMatrixPureSeedSweep(t *testing.T) {
+	m := &Matrix{Base: core.QuickConfig(), Seeds: Seeds(1, 4)}
+	runs, err := m.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 || m.NumRuns() != 4 {
+		t.Fatalf("expected 4 runs, got %d (NumRuns %d)", len(runs), m.NumRuns())
+	}
+	for i, r := range runs {
+		if r.Index != i {
+			t.Errorf("run %d has index %d", i, r.Index)
+		}
+		if r.Scenario != "base" {
+			t.Errorf("run %d scenario = %q, want base", i, r.Scenario)
+		}
+		if r.Seed != int64(i+1) || r.Config.Seed != r.Seed {
+			t.Errorf("run %d seed = %d (config %d)", i, r.Seed, r.Config.Seed)
+		}
+	}
+}
+
+func TestMatrixCartesianExpansion(t *testing.T) {
+	m := &Matrix{
+		Base:  core.QuickConfig(),
+		Seeds: Seeds(1, 2),
+		Axes: []Axis{
+			Nodes(60, 120),
+			Discovery(false, true),
+		},
+	}
+	runs, err := m.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("2 nodes x 2 discovery x 2 seeds = 8, got %d", len(runs))
+	}
+	// First axis varies slowest, seeds fastest.
+	wantScenarios := []string{
+		"nodes=60,discovery=off", "nodes=60,discovery=off",
+		"nodes=60,discovery=on", "nodes=60,discovery=on",
+		"nodes=120,discovery=off", "nodes=120,discovery=off",
+		"nodes=120,discovery=on", "nodes=120,discovery=on",
+	}
+	for i, r := range runs {
+		if r.Scenario != wantScenarios[i] {
+			t.Errorf("run %d scenario = %q, want %q", i, r.Scenario, wantScenarios[i])
+		}
+	}
+	if runs[0].Config.NumNodes != 60 || runs[4].Config.NumNodes != 120 {
+		t.Error("nodes axis not applied")
+	}
+	if runs[0].Config.UseDiscovery || !runs[2].Config.UseDiscovery {
+		t.Error("discovery axis not applied")
+	}
+	// The base config must stay untouched.
+	if m.Base.NumNodes != core.QuickConfig().NumNodes {
+		t.Error("matrix expansion mutated the base config")
+	}
+}
+
+func TestMatrixValidatesExpandedConfigs(t *testing.T) {
+	m := &Matrix{
+		Base: core.QuickConfig(),
+		Axes: []Axis{Nodes(5)}, // below the 10-node minimum
+	}
+	if _, err := m.Runs(); err == nil {
+		t.Fatal("invalid expanded config accepted")
+	}
+}
+
+func TestMatrixRejectsMalformedAxes(t *testing.T) {
+	base := core.QuickConfig()
+	cases := []Matrix{
+		{Base: base, Axes: []Axis{{Name: "", Variants: Nodes(60).Variants}}},
+		{Base: base, Axes: []Axis{{Name: "empty"}}},
+		{Base: base, Axes: []Axis{Nodes(60, 60)}},                                 // duplicate variant names
+		{Base: base, Axes: []Axis{{Name: "x", Variants: []Variant{{Name: "a"}}}}}, // nil Apply
+	}
+	for i := range cases {
+		if _, err := cases[i].Runs(); err == nil {
+			t.Errorf("case %d: malformed axis accepted", i)
+		}
+	}
+}
+
+func TestPoolSplits(t *testing.T) {
+	ax, err := PoolSplits(PoolSplitPaper, PoolSplitUniform, PoolSplitEqual, PoolSplitMajority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ax.Variants) != 4 {
+		t.Fatalf("variants = %d", len(ax.Variants))
+	}
+	sum := func(cfg *core.Config) float64 {
+		total := 0.0
+		for _, p := range cfg.Pools {
+			total += p.Power
+		}
+		return total
+	}
+	for _, v := range ax.Variants {
+		cfg := core.QuickConfig()
+		v.Apply(&cfg)
+		if s := sum(&cfg); s < 0.99 || s > 1.01 {
+			t.Errorf("split %s: powers sum to %f", v.Name, s)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("split %s: %v", v.Name, err)
+		}
+	}
+
+	cfg := core.QuickConfig()
+	ax.Variants[3].Apply(&cfg) // majority
+	if cfg.Pools[0].Power != 0.51 {
+		t.Errorf("majority split top power = %f", cfg.Pools[0].Power)
+	}
+	cfg = core.QuickConfig()
+	ax.Variants[2].Apply(&cfg) // equal
+	if cfg.Pools[0].Power != cfg.Pools[len(cfg.Pools)-1].Power {
+		t.Error("equal split powers differ")
+	}
+
+	if _, err := PoolSplits("bogus"); err == nil {
+		t.Fatal("unknown pool split accepted")
+	}
+}
+
+func TestChurnProfiles(t *testing.T) {
+	ax, err := ChurnProfiles(ChurnNone, ChurnDefault, ChurnHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]core.Config, len(ax.Variants))
+	for i, v := range ax.Variants {
+		cfgs[i] = core.QuickConfig()
+		v.Apply(&cfgs[i])
+	}
+	if cfgs[0].Churn.Interval != 0 {
+		t.Error("none profile enables churn")
+	}
+	if cfgs[1].Churn.Interval == 0 {
+		t.Error("default profile disables churn")
+	}
+	if cfgs[2].Churn.Interval*4 != cfgs[1].Churn.Interval {
+		t.Errorf("heavy interval %v not 4x faster than default %v",
+			cfgs[2].Churn.Interval, cfgs[1].Churn.Interval)
+	}
+	if _, err := ChurnProfiles("bogus"); err == nil {
+		t.Fatal("unknown churn profile accepted")
+	}
+}
+
+func TestTxRatesRederivesCapacity(t *testing.T) {
+	ax := TxRates(0.5, 2)
+	a, b := core.QuickConfig(), core.QuickConfig()
+	ax.Variants[0].Apply(&a)
+	ax.Variants[1].Apply(&b)
+	if a.TxGen.Rate != 0.5 || b.TxGen.Rate != 2 {
+		t.Fatal("rates not applied")
+	}
+	if b.Mining.BlockCapacity <= a.Mining.BlockCapacity {
+		t.Errorf("capacity did not scale with rate: %d vs %d",
+			a.Mining.BlockCapacity, b.Mining.BlockCapacity)
+	}
+	if a.TxGen.MempoolFloor != a.Mining.BlockCapacity*3/2 {
+		t.Error("mempool floor not re-derived")
+	}
+}
+
+func TestDurationsAxis(t *testing.T) {
+	ax := Durations(10*time.Minute, time.Hour)
+	if ax.Variants[0].Name != "10m0s" || ax.Variants[1].Name != "1h0m0s" {
+		t.Errorf("variant names = %q, %q", ax.Variants[0].Name, ax.Variants[1].Name)
+	}
+	cfg := core.QuickConfig()
+	ax.Variants[1].Apply(&cfg)
+	if cfg.Duration != time.Hour {
+		t.Error("duration not applied")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package sweep
+
+// raceEnabled shrinks test campaigns when the race detector is on:
+// shadow-memory instrumentation makes the event-dense simulator an
+// order of magnitude slower, and the race tests are about concurrency
+// structure, not statistical depth.
+const raceEnabled = true

@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/core"
+)
+
+// RunResult is the outcome of one campaign within a sweep.
+type RunResult struct {
+	// Run identifies the campaign (index, scenario, seed, config).
+	Run Run
+	// Metrics are the run's headline scalars, extracted immediately so
+	// the (much larger) dataset can be released between runs.
+	Metrics analysis.KeyMetrics
+	// Stats is the run's bookkeeping (events, blocks, wall time).
+	Stats core.RunStats
+	// Results is the full analysis bundle, retained only when the
+	// runner's KeepResults is set.
+	Results *core.Results
+	// Err is non-nil when the run failed, panicked (the panic is
+	// captured, not propagated), or was skipped due to cancellation.
+	Err error
+	// Wall is the run's wall-clock cost (zero for skipped runs).
+	Wall time.Duration
+}
+
+// Ok reports whether the run completed and produced results.
+func (r *RunResult) Ok() bool { return r.Err == nil && r.Metrics != nil }
+
+// Runner executes a matrix's campaigns on a worker pool. Each campaign
+// owns a private engine, registry and recorder, so runs proceed fully
+// independently; the runner adds no synchronization beyond handing out
+// job indices and collecting results into per-index slots.
+type Runner struct {
+	// Workers is the concurrency level; <= 0 means GOMAXPROCS.
+	Workers int
+	// KeepResults retains every run's full *core.Results. Off by
+	// default: a month-scale run's dataset dwarfs its KeyMetrics, and
+	// sweeps with hundreds of runs would otherwise hold every dataset
+	// alive simultaneously.
+	KeepResults bool
+	// OnResult, when set, observes each finished run. Calls are
+	// serialized by the runner and report monotonically increasing
+	// done counts; execution order across workers is nondeterministic,
+	// but the result slice's order never is.
+	OnResult func(done, total int, r *RunResult)
+
+	// runFn executes one campaign; tests stub it to inject failures
+	// and panics. Nil means the real build-and-run path.
+	runFn func(core.Config) (*core.Results, error)
+}
+
+// runCampaign is the production runFn: build the full system, run it,
+// analyze.
+func runCampaign(cfg core.Config) (*core.Results, error) {
+	campaign, err := core.NewCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Run()
+}
+
+// Run expands the matrix and executes every run, returning results in
+// matrix expansion order regardless of scheduling. On cancellation it
+// returns the partial results (pending runs carry ctx.Err()) together
+// with the context's error. A run that panics is isolated: its slot
+// records the panic as an error and the remaining runs continue.
+func (rn *Runner) Run(ctx context.Context, m *Matrix) ([]RunResult, error) {
+	runs, err := m.Runs()
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	workers := rn.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+
+	results := make([]RunResult, len(runs))
+	executed := make([]bool, len(runs))
+	jobs := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards done + OnResult
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = rn.execute(ctx, runs[i])
+				executed[i] = true
+				mu.Lock()
+				done++
+				if rn.OnResult != nil {
+					rn.OnResult(done, len(runs), &results[i])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for i := range runs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Fill in runs that never reached a worker so callers can tell
+		// a skipped slot from a failed one.
+		for i := range results {
+			if !executed[i] {
+				results[i].Run = runs[i]
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// execute runs one campaign, converting panics into errors so a bad
+// scenario cannot take down the whole sweep.
+func (rn *Runner) execute(ctx context.Context, run Run) (rr RunResult) {
+	rr.Run = run
+	if err := ctx.Err(); err != nil {
+		rr.Err = err
+		return
+	}
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			rr.Err = fmt.Errorf("sweep: run %d (%s, seed %d) panicked: %v\n%s",
+				run.Index, run.Scenario, run.Seed, p, debug.Stack())
+			rr.Metrics = nil
+			rr.Results = nil
+		}
+		rr.Wall = time.Since(start)
+	}()
+
+	runFn := rn.runFn
+	if runFn == nil {
+		runFn = runCampaign
+	}
+	res, err := runFn(run.Config)
+	if err != nil {
+		rr.Err = fmt.Errorf("sweep: run %d (%s, seed %d): %w", run.Index, run.Scenario, run.Seed, err)
+		return
+	}
+	rr.Metrics = res.KeyMetrics()
+	rr.Stats = res.Stats
+	if rn.KeepResults {
+		rr.Results = res
+	}
+	return
+}

@@ -1,0 +1,378 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/core"
+)
+
+// testConfig returns a campaign small enough that a sweep of a dozen
+// runs stays fast even under the race detector.
+func testConfig() core.Config {
+	cfg := core.QuickConfig()
+	cfg.Duration = 90 * time.Second
+	if testing.Short() {
+		cfg.Duration = time.Minute
+	}
+	cfg.NumNodes = 45
+	cfg.OutDegree = 5
+	peerCap := 16
+	if raceEnabled {
+		cfg.Duration = 25 * time.Second
+		cfg.NumNodes = 24
+		cfg.OutDegree = 4
+		peerCap = 8
+	}
+	for i := range cfg.Vantages {
+		if cfg.Vantages[i].Peers > peerCap {
+			cfg.Vantages[i].Peers = peerCap
+		}
+	}
+	cfg.EnableTxWorkload = false
+	return cfg
+}
+
+func metricsEqual(a, b analysis.KeyMetrics) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSerialAggregate is the determinism contract at
+// sweep level: executing the same matrix with one worker and with many
+// must produce byte-identical aggregates.
+func TestParallelMatchesSerialAggregate(t *testing.T) {
+	seeds := 3
+	if testing.Short() || raceEnabled {
+		seeds = 2
+	}
+	matrix := func() *Matrix {
+		return &Matrix{
+			Base:  testConfig(),
+			Seeds: Seeds(1, seeds),
+			Axes:  []Axis{Discovery(false, true)},
+		}
+	}
+
+	serial, err := (&Runner{Workers: 1}).Run(context.Background(), matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 8}).Run(context.Background(), matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !serial[i].Ok() || !parallel[i].Ok() {
+			t.Fatalf("run %d failed: serial=%v parallel=%v", i, serial[i].Err, parallel[i].Err)
+		}
+		if !metricsEqual(serial[i].Metrics, parallel[i].Metrics) {
+			t.Errorf("run %d metrics differ:\nserial:   %v\nparallel: %v",
+				i, serial[i].Metrics, parallel[i].Metrics)
+		}
+		if serial[i].Stats.Events != parallel[i].Stats.Events {
+			t.Errorf("run %d event counts differ: %d vs %d",
+				i, serial[i].Stats.Events, parallel[i].Stats.Events)
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := Aggregate(serial).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Aggregate(parallel).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("aggregates not byte-identical:\nserial:   %s\nparallel: %s", a.String(), b.String())
+	}
+}
+
+// TestRunnerConcurrentCampaignsNoLeakage drives >= 8 campaigns
+// concurrently (one worker each), twice, and spot-checks against
+// serial executions of the same configs: any shared state between
+// engine instances — RNG streams, recorders, registries — would show
+// up as metrics diverging between the two differently-interleaved
+// parallel executions or from the serial references. Run with -race
+// this also proves the runner itself adds no data races.
+func TestRunnerConcurrentCampaignsNoLeakage(t *testing.T) {
+	m := &Matrix{Base: testConfig(), Seeds: Seeds(1, 8)}
+	first, err := (&Runner{Workers: 8}).Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	distinct := make(map[string]bool)
+	for i := range first {
+		if !first[i].Ok() {
+			t.Fatalf("run %d failed: %v", i, first[i].Err)
+		}
+		distinct[formatMetrics(first[i].Metrics)] = true
+	}
+
+	// A second, differently-interleaved parallel execution must
+	// reproduce the first exactly. Skipped under the race detector
+	// (instrumentation makes it very slow and adds nothing there —
+	// the first execution already exposes races).
+	if !raceEnabled {
+		second, err := (&Runner{Workers: 8}).Run(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if !second[i].Ok() {
+				t.Fatalf("second run %d failed: %v", i, second[i].Err)
+			}
+			if !metricsEqual(first[i].Metrics, second[i].Metrics) {
+				t.Errorf("seed %d: metrics differ across parallel executions:\nfirst:  %v\nsecond: %v",
+					first[i].Run.Seed, first[i].Metrics, second[i].Metrics)
+			}
+			if first[i].Stats.Events != second[i].Stats.Events {
+				t.Errorf("seed %d: event counts differ: %d vs %d",
+					first[i].Run.Seed, first[i].Stats.Events, second[i].Stats.Events)
+			}
+		}
+	}
+	// Different seeds must actually explore different outcomes —
+	// identical metrics across all seeds would indicate the seed is
+	// not reaching the engines.
+	if len(distinct) < 2 {
+		t.Error("all 8 seeds produced identical metrics (suspicious)")
+	}
+
+	// Spot-check two runs against fully serial references.
+	for _, i := range []int{0, len(first) - 1} {
+		ref, err := runCampaign(first[i].Run.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !metricsEqual(first[i].Metrics, ref.KeyMetrics()) {
+			t.Errorf("seed %d: concurrent metrics diverge from serial reference:\nconcurrent: %v\nserial:     %v",
+				first[i].Run.Seed, first[i].Metrics, ref.KeyMetrics())
+		}
+		if first[i].Stats.Events != ref.Stats.Events {
+			t.Errorf("seed %d: event count %d != serial %d",
+				first[i].Run.Seed, first[i].Stats.Events, ref.Stats.Events)
+		}
+	}
+}
+
+func formatMetrics(m analysis.KeyMetrics) string {
+	var sb strings.Builder
+	for _, name := range m.Names() {
+		fmt.Fprintf(&sb, "%s=%x;", name, math.Float64bits(m[name]))
+	}
+	return sb.String()
+}
+
+// TestRunnerCancellationMidFlight cancels a sweep after the first two
+// results: pending runs must be marked with the context error, the
+// call must surface context.Canceled, and completed runs must still
+// carry valid, uncorrupted metrics.
+func TestRunnerCancellationMidFlight(t *testing.T) {
+	m := &Matrix{Base: testConfig(), Seeds: Seeds(1, 10)}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var once sync.Once
+	runner := &Runner{
+		Workers: 2,
+		OnResult: func(done, total int, r *RunResult) {
+			if done >= 2 {
+				once.Do(cancel)
+			}
+		},
+	}
+	results, err := runner.Run(ctx, m)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("results = %d, want full slate of 10", len(results))
+	}
+	completed, skipped := 0, 0
+	for i := range results {
+		switch {
+		case results[i].Ok():
+			completed++
+			if results[i].Stats.Events == 0 {
+				t.Errorf("completed run %d carries no stats", i)
+			}
+		case errors.Is(results[i].Err, context.Canceled):
+			skipped++
+			if results[i].Metrics != nil {
+				t.Errorf("skipped run %d carries metrics", i)
+			}
+			if results[i].Run.Seed != int64(i+1) {
+				t.Errorf("skipped run %d lost its identity: %+v", i, results[i].Run)
+			}
+		default:
+			t.Errorf("run %d in unexpected state: err=%v", i, results[i].Err)
+		}
+	}
+	if completed < 2 {
+		t.Errorf("completed = %d, want >= 2", completed)
+	}
+	if skipped == 0 {
+		t.Error("cancellation mid-flight skipped nothing — cancel had no effect")
+	}
+}
+
+// TestRunnerPanicIsolation: a panicking run must not take down the
+// sweep; its slot records the panic and the other runs complete.
+func TestRunnerPanicIsolation(t *testing.T) {
+	fake := func(seed int64) *core.Results {
+		return &core.Results{
+			Propagation: &analysis.PropagationResult{Blocks: 1, MedianMs: float64(seed)},
+		}
+	}
+	runner := &Runner{
+		Workers: 4,
+		runFn: func(cfg core.Config) (*core.Results, error) {
+			if cfg.Seed == 3 {
+				panic("kaboom")
+			}
+			if cfg.Seed == 4 {
+				return nil, errors.New("plain failure")
+			}
+			return fake(cfg.Seed), nil
+		},
+	}
+	m := &Matrix{Base: testConfig(), Seeds: Seeds(1, 6)}
+	results, err := runner.Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		switch results[i].Run.Seed {
+		case 3:
+			if results[i].Err == nil || !strings.Contains(results[i].Err.Error(), "panicked") {
+				t.Errorf("panic not captured: %v", results[i].Err)
+			}
+			if !strings.Contains(results[i].Err.Error(), "kaboom") {
+				t.Errorf("panic value lost: %v", results[i].Err)
+			}
+		case 4:
+			if results[i].Err == nil || !strings.Contains(results[i].Err.Error(), "plain failure") {
+				t.Errorf("error not propagated: %v", results[i].Err)
+			}
+		default:
+			if !results[i].Ok() {
+				t.Errorf("healthy run %d failed: %v", i, results[i].Err)
+			}
+			if got := results[i].Metrics[analysis.MetricPropMedianMs]; got != float64(results[i].Run.Seed) {
+				t.Errorf("run %d metrics = %v", i, results[i].Metrics)
+			}
+		}
+	}
+	agg := Aggregate(results)
+	if agg.Failed != 2 {
+		t.Errorf("aggregate failed = %d, want 2", agg.Failed)
+	}
+	if len(agg.Errors) != 2 {
+		t.Errorf("aggregate errors = %v", agg.Errors)
+	}
+}
+
+// TestRunnerProgressReporting: done counts increase monotonically to
+// the total, and callbacks are serialized (the mutation of seen below
+// would trip -race otherwise).
+func TestRunnerProgressReporting(t *testing.T) {
+	var calls []int
+	runner := &Runner{
+		Workers: 4,
+		runFn: func(cfg core.Config) (*core.Results, error) {
+			return &core.Results{
+				Propagation: &analysis.PropagationResult{Blocks: 1, MedianMs: 1},
+			}, nil
+		},
+		OnResult: func(done, total int, r *RunResult) {
+			if total != 6 {
+				t.Errorf("total = %d", total)
+			}
+			calls = append(calls, done)
+		},
+	}
+	m := &Matrix{Base: testConfig(), Seeds: Seeds(1, 6)}
+	if _, err := runner.Run(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 6 {
+		t.Fatalf("callbacks = %d", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("done sequence = %v", calls)
+		}
+	}
+}
+
+// TestSweepConvenience exercises the one-call wrapper end to end on a
+// tiny real matrix.
+func TestSweepConvenience(t *testing.T) {
+	base := testConfig()
+	// Enough virtual time that the headline metrics are guaranteed to
+	// materialize regardless of the race-mode shrink above.
+	base.Duration = 90 * time.Second
+	m := &Matrix{Base: base, Seeds: Seeds(1, 2)}
+	agg, results, err := Sweep(context.Background(), m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || agg.Runs != 2 || agg.Failed != 0 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	s := agg.Scenario("base")
+	if s == nil {
+		t.Fatal("base scenario missing")
+	}
+	if m := s.Metric(analysis.MetricPropMedianMs); m == nil || m.N != 2 || m.Mean <= 0 {
+		t.Errorf("propagation summary = %+v", m)
+	}
+	if m := s.Metric(analysis.MetricForkMainShare); m == nil || m.Mean <= 0.5 {
+		t.Errorf("fork main share = %+v", m)
+	}
+}
+
+// TestRunnerDefaultsWorkers ensures a zero-value runner picks a sane
+// worker count and still completes.
+func TestRunnerDefaultsWorkers(t *testing.T) {
+	runner := &Runner{
+		runFn: func(cfg core.Config) (*core.Results, error) {
+			return &core.Results{
+				Propagation: &analysis.PropagationResult{Blocks: 1, MedianMs: 1},
+			}, nil
+		},
+	}
+	m := &Matrix{Base: testConfig(), Seeds: Seeds(1, 3)}
+	results, err := runner.Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if !results[i].Ok() {
+			t.Fatalf("run %d: %v", i, results[i].Err)
+		}
+	}
+	if DefaultWorkers() < 1 {
+		t.Error("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,45 @@
+// Package sweep turns single measurement campaigns into experiment
+// fleets. The paper's conclusions rest on one one-month deployment;
+// the simulator can instead rerun the campaign across many seeds and
+// scenario variants and report confidence intervals rather than point
+// estimates.
+//
+// The package has three layers:
+//
+//   - Matrix expands a base core.Config across axes (seeds × node
+//     counts × pool hash-rate splits × topology × churn × ...) into a
+//     flat list of fully-specified runs.
+//   - Runner executes those runs on a worker pool, one goroutine per
+//     campaign. Each core.Campaign owns a private sim.Engine and is
+//     single-threaded-deterministic, so the correct scaling axis is
+//     across campaigns; the runner saturates GOMAXPROCS cores while
+//     preserving per-run determinism.
+//   - Aggregate folds each run's analysis.KeyMetrics into per-scenario
+//     cross-seed summaries (mean, stddev, min/max, 95% CI).
+//
+// Determinism contract: equal seeds give equal runs, and sweep
+// parallelism never changes results — the aggregate of a parallel
+// sweep is byte-identical to a serial loop over the same matrix.
+package sweep
+
+import (
+	"context"
+	"runtime"
+)
+
+// Sweep expands the matrix, runs every campaign on up to workers
+// concurrent goroutines (GOMAXPROCS when workers <= 0), and folds the
+// per-run metrics into cross-seed aggregates. It is the one-call
+// convenience wrapper over Matrix + Runner + Aggregate.
+func Sweep(ctx context.Context, m *Matrix, workers int) (*AggregateResult, []RunResult, error) {
+	runner := &Runner{Workers: workers}
+	results, err := runner.Run(ctx, m)
+	if err != nil {
+		return nil, results, err
+	}
+	return Aggregate(results), results, nil
+}
+
+// DefaultWorkers returns the worker count used when a Runner does not
+// specify one: the process's GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
