@@ -1,0 +1,352 @@
+// Command ethbench runs calibrated campaign benchmarks at increasing
+// network scales and emits machine-readable BENCH_*.json so engine
+// performance is measured, not asserted. It is the performance gate
+// behind the CI `bench` job: compare a fresh run against the committed
+// BENCH_baseline.json and fail on regression.
+//
+// Usage:
+//
+//	ethbench -profile ci -out BENCH_ci.json -baseline BENCH_baseline.json
+//	ethbench -profile full -out BENCH_full.json
+//	ethbench -scales 1000:10 -out BENCH_1k.json
+//
+// Each campaign entry reports ns/event, allocs/event, events/sec, peak
+// heap and message counts for a fixed-seed run, plus a scheduler
+// microbenchmark (ns/op, allocs/op) via testing.Benchmark. Regression
+// checks compare ns_per_event (and ns_per_op) and allocs within a
+// fractional threshold; peak heap and events/sec are informational.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/core"
+	"ethmeasure/internal/sim"
+)
+
+// Entry is one benchmark measurement. Campaign entries fill every
+// field; microbenchmark entries only the ns/allocs pair.
+type Entry struct {
+	Name string `json:"name"`
+
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	Nodes          int     `json:"nodes,omitempty"`
+	VirtualMinutes float64 `json:"virtual_minutes,omitempty"`
+	Events         uint64  `json:"events,omitempty"`
+	Messages       uint64  `json:"messages,omitempty"`
+	WallMs         float64 `json:"wall_ms,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes,omitempty"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Schema    int     `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	Profile   string  `json:"profile"`
+	Entries   []Entry `json:"entries"`
+}
+
+type scale struct {
+	nodes   int
+	virtual time.Duration
+}
+
+func profileScales(profile string) ([]scale, error) {
+	switch profile {
+	case "short":
+		return []scale{{150, 8 * time.Minute}}, nil
+	case "ci":
+		return []scale{{150, 8 * time.Minute}, {1000, 3 * time.Minute}}, nil
+	case "full":
+		return []scale{{150, 20 * time.Minute}, {1000, 10 * time.Minute}, {5000, 4 * time.Minute}}, nil
+	default:
+		return nil, fmt.Errorf("unknown profile %q (short|ci|full)", profile)
+	}
+}
+
+func parseScales(spec string) ([]scale, error) {
+	var out []scale
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nodesStr, minStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("scale %q not in nodes:virtualMinutes form", part)
+		}
+		nodes, err := strconv.Atoi(strings.TrimSpace(nodesStr))
+		if err != nil || nodes < 10 {
+			return nil, fmt.Errorf("bad node count in scale %q", part)
+		}
+		minutes, err := strconv.ParseFloat(strings.TrimSpace(minStr), 64)
+		if err != nil || minutes <= 0 {
+			return nil, fmt.Errorf("bad virtual minutes in scale %q", part)
+		}
+		out = append(out, scale{nodes, time.Duration(minutes * float64(time.Minute))})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scale list %q is empty", spec)
+	}
+	return out, nil
+}
+
+// campaignConfig builds the calibrated benchmark campaign for a scale:
+// the default pool population and vantages over an s.nodes-node
+// network, transaction workload on, fixed seed so runs are comparable.
+func campaignConfig(s scale, seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = s.virtual
+	cfg.NumNodes = s.nodes
+	cfg.OutDegree = 8
+	for i := range cfg.Vantages {
+		if cfg.Vantages[i].Peers > 50 {
+			cfg.Vantages[i].Peers = 50
+		}
+	}
+	core.ApplyCapacity(&cfg)
+	return cfg
+}
+
+// heapSampler polls HeapAlloc until stopped and records the maximum.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startHeapSampler() *heapSampler {
+	hs := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hs.done)
+		ticker := time.NewTicker(50 * time.Millisecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-hs.stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > hs.peak.Load() {
+					hs.peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	return hs
+}
+
+func (hs *heapSampler) Stop() uint64 {
+	close(hs.stop)
+	<-hs.done
+	return hs.peak.Load()
+}
+
+func runCampaignEntry(s scale, w io.Writer) (Entry, error) {
+	cfg := campaignConfig(s, 1)
+	campaign, err := core.NewCampaign(cfg)
+	if err != nil {
+		return Entry{}, fmt.Errorf("build %d-node campaign: %w", s.nodes, err)
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sampler := startHeapSampler()
+
+	start := time.Now()
+	res, err := campaign.Run()
+	wall := time.Since(start)
+
+	peak := sampler.Stop()
+	if err != nil {
+		return Entry{}, fmt.Errorf("run %d-node campaign: %w", s.nodes, err)
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	events := res.Stats.Events
+	if events == 0 {
+		return Entry{}, fmt.Errorf("%d-node campaign executed no events", s.nodes)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	e := Entry{
+		Name:           fmt.Sprintf("campaign/%d", s.nodes),
+		Nodes:          s.nodes,
+		VirtualMinutes: s.virtual.Minutes(),
+		Events:         events,
+		Messages:       res.Stats.Messages,
+		WallMs:         float64(wall.Nanoseconds()) / 1e6,
+		NsPerOp:        float64(wall.Nanoseconds()) / float64(events),
+		AllocsPerOp:    float64(allocs) / float64(events),
+		EventsPerSec:   float64(events) / wall.Seconds(),
+		PeakHeapBytes:  peak,
+	}
+	fmt.Fprintf(w, "%-16s %9.1f ns/event %8.3f allocs/event %12.0f events/s  peak heap %6.1f MB  (%d events, wall %v)\n",
+		e.Name, e.NsPerOp, e.AllocsPerOp, e.EventsPerSec, float64(peak)/(1<<20), events, wall.Round(time.Millisecond))
+	return e, nil
+}
+
+// engineEntry microbenchmarks the scheduler's dominant pattern: events
+// scheduling their successors.
+func engineEntry(w io.Writer) Entry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine(1)
+		remaining := b.N
+		var tick func()
+		tick = func() {
+			if remaining > 0 {
+				remaining--
+				e.After(time.Microsecond, tick)
+			}
+		}
+		e.After(0, tick)
+		b.ResetTimer()
+		if _, err := e.Run(time.Duration(1<<62 - 1)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	e := Entry{
+		Name:        "engine/selfschedule",
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+	}
+	fmt.Fprintf(w, "%-16s %9.1f ns/op    %8.3f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	return e
+}
+
+// compare checks fresh entries against a baseline report. ns and
+// allocs may regress by at most threshold (fractionally); allocs get a
+// small absolute epsilon so a 0-alloc baseline does not flag noise.
+// With allocsOnly, ns differences are reported but never fail: the
+// allocation budget is machine-independent while wall time is not, so
+// this is the right gate when the baseline was recorded on different
+// hardware or a different toolchain than the run under test.
+func compare(fresh, baseline *Report, threshold float64, allocsOnly bool, w io.Writer) error {
+	base := make(map[string]Entry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Name] = e
+	}
+	var failures []string
+	for _, e := range fresh.Entries {
+		b, ok := base[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "compare: %s not in baseline, skipping\n", e.Name)
+			continue
+		}
+		if limit := b.NsPerOp * (1 + threshold); e.NsPerOp > limit {
+			msg := fmt.Sprintf("%s: ns/op %.1f exceeds baseline %.1f by more than %.0f%%",
+				e.Name, e.NsPerOp, b.NsPerOp, threshold*100)
+			if allocsOnly {
+				fmt.Fprintf(w, "note (informational, -allocs-only): %s\n", msg)
+			} else {
+				failures = append(failures, msg)
+			}
+		}
+		if limit := b.AllocsPerOp*(1+threshold) + 0.01; e.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.3f exceeds baseline %.3f by more than %.0f%%",
+				e.Name, e.AllocsPerOp, b.AllocsPerOp, threshold*100))
+		}
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		for _, f := range failures {
+			fmt.Fprintf(w, "REGRESSION %s\n", f)
+		}
+		return fmt.Errorf("%d performance regression(s) against baseline", len(failures))
+	}
+	fmt.Fprintf(w, "compare: no regressions beyond %.0f%% against baseline\n", threshold*100)
+	return nil
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ethbench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	profile := fs.String("profile", "short", "scale profile: short, ci or full")
+	scalesSpec := fs.String("scales", "", "override scales as nodes:virtualMinutes[,...] (e.g. 1000:10)")
+	out := fs.String("out", "BENCH_results.json", "output JSON path (empty to skip writing)")
+	baselinePath := fs.String("baseline", "", "baseline JSON to compare against; exits non-zero on regression")
+	threshold := fs.Float64("threshold", 0.15, "max fractional ns/allocs regression against the baseline")
+	allocsOnly := fs.Bool("allocs-only", false, "gate only on allocs/op; report ns drift without failing (for cross-hardware baselines)")
+	skipEngine := fs.Bool("skip-engine", false, "skip the scheduler microbenchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scales, err := profileScales(*profile)
+	if err != nil {
+		return err
+	}
+	if *scalesSpec != "" {
+		if scales, err = parseScales(*scalesSpec); err != nil {
+			return err
+		}
+	}
+
+	report := &Report{Schema: 1, GoVersion: runtime.Version(), Profile: *profile}
+	if !*skipEngine {
+		report.Entries = append(report.Entries, engineEntry(w))
+	}
+	for _, s := range scales {
+		entry, err := runCampaignEntry(s, w)
+		if err != nil {
+			return err
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *out)
+	}
+	if *baselinePath != "" {
+		baseline, err := loadReport(*baselinePath)
+		if err != nil {
+			return fmt.Errorf("load baseline: %w", err)
+		}
+		if err := compare(report, baseline, *threshold, *allocsOnly, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ethbench:", err)
+		os.Exit(1)
+	}
+}

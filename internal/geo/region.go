@@ -217,9 +217,43 @@ func GlobalSenderDistribution() *Distribution {
 // LatencyModel provides pairwise one-way network delays between regions
 // with multiplicative jitter. It is safe for concurrent reads after
 // construction.
+//
+// Sampling is on the per-message hot path of every campaign, so the
+// model precomputes two flat matrices at construction: the defaulted
+// base delay (unknown pairs fall back to 50 ms) and its float64 image
+// used by the jitter arithmetic. A sample is then two array loads plus
+// the jitter draw — no map lookups and no per-sample branching on
+// missing pairs.
 type LatencyModel struct {
 	base   [NumRegions + 1][NumRegions + 1]time.Duration
 	jitter float64 // max fractional jitter, e.g. 0.2 → ±20%
+
+	// Precomputed lookup tables (see finalize).
+	baseD        [NumRegions + 1][NumRegions + 1]time.Duration // defaulted base
+	baseF        [NumRegions + 1][NumRegions + 1]float64       // float64(defaulted base)
+	oneMinusHalf float64                                       // 1 - jitter/2
+}
+
+// fallbackBase is the delay assumed for region pairs the model does not
+// cover (historically the zero-entry default in Sample).
+const fallbackBase = 50 * time.Millisecond
+
+// finalize fills the flattened lookup tables from base and jitter. It
+// must be called after the base matrix is fully populated and before
+// the first Sample.
+func (m *LatencyModel) finalize() *LatencyModel {
+	for a := range m.base {
+		for b := range m.base[a] {
+			d := m.base[a][b]
+			if d == 0 {
+				d = fallbackBase
+			}
+			m.baseD[a][b] = d
+			m.baseF[a][b] = float64(d)
+		}
+	}
+	m.oneMinusHalf = 1 - m.jitter/2
+	return m
 }
 
 // DefaultLatencyModel returns a latency model calibrated to typical
@@ -277,7 +311,7 @@ func DefaultLatencyModel() *LatencyModel {
 	set(SoutheastAsia, Oceania, ms(55))
 
 	set(SouthAmerica, Oceania, ms(160))
-	return m
+	return m.finalize()
 }
 
 // UniformLatencyModel returns a model where every pair of regions has
@@ -289,7 +323,7 @@ func UniformLatencyModel(base time.Duration, jitter float64) *LatencyModel {
 			m.base[a][b] = base
 		}
 	}
-	return m
+	return m.finalize()
 }
 
 // Base returns the base one-way delay between two regions.
@@ -303,17 +337,19 @@ func (m *LatencyModel) Base(from, to Region) time.Duration {
 // zero jitter samples the base delay exactly (deterministic transport,
 // used by ablations and tests).
 func (m *LatencyModel) Sample(rng *rand.Rand, from, to Region) time.Duration {
-	base := m.base[from][to]
-	if base == 0 {
-		base = 50 * time.Millisecond
-	}
 	if m.jitter == 0 {
-		return base
+		d := m.baseD[from][to]
+		if d == 0 { // zero-constructed model without finalize
+			d = fallbackBase
+		}
+		return d
 	}
-	// factor in [1-j/2, 1+j], with occasional heavier tail.
-	f := 1 - m.jitter/2 + rng.Float64()*1.5*m.jitter
+	// factor in [1-j/2, 1+j], with occasional heavier tail. The
+	// multiply chain keeps the historical evaluation order so sampled
+	// values stay bit-identical across engine versions.
+	f := m.oneMinusHalf + rng.Float64()*1.5*m.jitter
 	if rng.Float64() < 0.06 { // occasional congestion spike
 		f += rng.Float64() * 4
 	}
-	return time.Duration(float64(base) * f)
+	return time.Duration(m.baseF[from][to] * f)
 }

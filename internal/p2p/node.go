@@ -13,6 +13,7 @@
 package p2p
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -50,6 +51,23 @@ func (k MsgKind) String() string {
 		return "unknown"
 	}
 }
+
+// Envelope kinds on the wire (simnet.Envelope.Kind) and local timer
+// kinds (sim.Arg.K). Wire deliveries arrive through DeliverEnvelope,
+// timers through HandleSimEvent; both paths are allocation-free, which
+// is what keeps multi-thousand-node campaigns off the garbage
+// collector.
+const (
+	evBlockPush    int32 = iota + 1 // Data=*types.Block, Aux=*Edge
+	evBlockFetched                  // Data=*types.Block, Aux=*Edge
+	evAnnounce                      // Data=*types.Block, Aux=*Edge
+	evTx                            // Data=*types.Transaction, Aux=*Edge
+	evGetBlock                      // Num=hash, Aux=*Edge (request)
+
+	tmPushBlock    // A=*types.Block: post-header-check relay
+	tmFinishImport // A=*types.Block: post-import announce
+	tmFetch        // A=*types.Block, B=*Edge: fetcher arrive-timeout
+)
 
 // Observer receives every inbound protocol message at a node. The
 // measurement infrastructure implements it; regular nodes leave it nil.
@@ -91,6 +109,8 @@ type Node struct {
 	view    *chain.View
 
 	edges      []*Edge
+	peerBits   bitset              // peer node IDs, for O(1) isPeer checks
+	pushTmp    []*Edge             // reusable scratch for pushBlock targets
 	seenBlocks map[types.Hash]bool // received at least once (pre-import)
 	fetching   map[types.Hash]bool // announced, awaiting push or fetch
 	knownTxs   *hashSet
@@ -172,9 +192,11 @@ func Connect(a, b *Node) *Edge {
 	if a == b {
 		return nil
 	}
-	for _, e := range a.edges {
-		if e.Other(a) == b {
-			return e
+	if a.peerBits.has(int(b.ID())) {
+		for _, e := range a.edges {
+			if e.Other(a) == b {
+				return e
+			}
 		}
 	}
 	e := &Edge{
@@ -185,6 +207,8 @@ func Connect(a, b *Node) *Edge {
 	}
 	a.edges = append(a.edges, e)
 	b.edges = append(b.edges, e)
+	a.peerBits.set(int(b.ID()))
+	b.peerBits.set(int(a.ID()))
 	return e
 }
 
@@ -206,7 +230,9 @@ func (n *Node) DisconnectAll() {
 	edges := n.edges
 	n.edges = nil
 	for _, e := range edges {
-		e.Other(n).removeEdge(e)
+		other := e.Other(n)
+		other.removeEdge(e)
+		n.peerBits.clear(int(other.ID()))
 	}
 }
 
@@ -214,8 +240,43 @@ func (n *Node) removeEdge(target *Edge) {
 	for i, e := range n.edges {
 		if e == target {
 			n.edges = append(n.edges[:i], n.edges[i+1:]...)
+			n.peerBits.clear(int(target.Other(n).ID()))
 			return
 		}
+	}
+}
+
+// DeliverEnvelope dispatches an inbound wire message (simnet.Sink).
+func (n *Node) DeliverEnvelope(env simnet.Envelope) {
+	switch env.Kind {
+	case evBlockPush:
+		n.handleBlock(env.Data.(*types.Block), env.Aux.(*Edge), MsgFullBlock)
+	case evBlockFetched:
+		n.handleBlock(env.Data.(*types.Block), env.Aux.(*Edge), MsgFetchedBlock)
+	case evAnnounce:
+		n.handleAnnounce(env.Data.(*types.Block), env.Aux.(*Edge))
+	case evTx:
+		n.handleTx(env.Data.(*types.Transaction), env.Aux.(*Edge))
+	case evGetBlock:
+		n.handleGetBlock(types.Hash(env.Num), env.Aux.(*Edge))
+	default:
+		// A dropped message would skew propagation metrics silently;
+		// fail loudly like the engine does for past-time scheduling.
+		panic(fmt.Sprintf("p2p: unknown envelope kind %d", env.Kind))
+	}
+}
+
+// HandleSimEvent dispatches a local protocol timer (sim.Handler).
+func (n *Node) HandleSimEvent(arg sim.Arg) {
+	switch arg.K {
+	case tmPushBlock:
+		n.pushBlock(arg.A.(*types.Block))
+	case tmFinishImport:
+		n.finishImport(arg.A.(*types.Block))
+	case tmFetch:
+		n.fetchTimeout(arg.A.(*types.Block), arg.B.(*Edge))
+	default:
+		panic(fmt.Sprintf("p2p: unknown timer kind %d", arg.K))
 	}
 }
 
@@ -251,8 +312,8 @@ func (n *Node) handleBlock(b *types.Block, from *Edge, kind MsgKind) {
 	// triggers the hash announcement.
 	headerDelay := n.scale(n.cfg.headerCheckDelay(n.rng))
 	importDelay := n.scale(n.cfg.importDelay(n.rng, len(b.TxHashes)))
-	n.engine.After(headerDelay, func() { n.pushBlock(b) })
-	n.engine.After(headerDelay+importDelay, func() { n.finishImport(b) })
+	n.engine.AfterArg(headerDelay, n, sim.Arg{A: b, K: tmPushBlock})
+	n.engine.AfterArg(headerDelay+importDelay, n, sim.Arg{A: b, K: tmFinishImport})
 }
 
 // pushBlock sends the full block to ceil(sqrt(peers)) randomly chosen
@@ -261,12 +322,13 @@ func (n *Node) pushBlock(b *types.Block) {
 	if !n.cfg.SqrtPush {
 		return
 	}
-	var targets []*Edge
+	targets := n.pushTmp[:0]
 	for _, e := range n.edges {
 		if !e.knownBlocks.Has(b.Hash) {
 			targets = append(targets, e)
 		}
 	}
+	n.pushTmp = targets[:0]
 	if len(targets) == 0 {
 		return
 	}
@@ -283,9 +345,11 @@ func (n *Node) pushBlock(b *types.Block) {
 func (n *Node) sendBlock(b *types.Block, e *Edge, kind MsgKind) {
 	e.knownBlocks.Add(b.Hash)
 	peer := e.Other(n)
-	n.net.Send(n.netNode, peer.netNode, b.Size, func() {
-		peer.handleBlock(b, e, kind)
-	})
+	ev := evBlockPush
+	if kind == MsgFetchedBlock {
+		ev = evBlockFetched
+	}
+	n.net.Send(n.netNode, peer.netNode, b.Size, peer, simnet.Envelope{Kind: ev, Data: b, Aux: e})
 }
 
 // finishImport completes validation, applies fork choice and announces
@@ -306,36 +370,40 @@ func (n *Node) announceBlock(b *types.Block) {
 			continue
 		}
 		e.knownBlocks.Add(b.Hash)
-		peer, edge := e.Other(n), e
-		n.net.Send(n.netNode, peer.netNode, rlp.AnnouncementWireSize(b.Number), func() {
-			peer.handleAnnounce(b.Hash, b.Number, edge)
-		})
+		peer := e.Other(n)
+		n.net.Send(n.netNode, peer.netNode, rlp.AnnouncementWireSize(b.Number),
+			peer, simnet.Envelope{Kind: evAnnounce, Data: b, Aux: e})
 	}
 }
 
-// handleAnnounce processes an inbound block-hash announcement. Unknown
-// hashes arm the fetcher: wait for the direct push, then request the
-// block from the announcing peer if it never arrives.
-func (n *Node) handleAnnounce(h types.Hash, number uint64, from *Edge) {
+// handleAnnounce processes an inbound block-hash announcement (the
+// wire carries hash+number; the block pointer is simulator-internal
+// plumbing). Unknown hashes arm the fetcher: wait for the direct push,
+// then request the block from the announcing peer if it never arrives.
+func (n *Node) handleAnnounce(b *types.Block, from *Edge) {
+	h := b.Hash
 	from.knownBlocks.Add(h)
 	if n.Observer != nil {
-		n.Observer.ObserveAnnounce(n.engine.Now(), h, number, from.Other(n).ID())
+		n.Observer.ObserveAnnounce(n.engine.Now(), h, b.Number, from.Other(n).ID())
 	}
 	if n.seenBlocks[h] || n.fetching[h] {
 		return
 	}
 	n.fetching[h] = true
-	announcer := from
-	n.engine.After(n.cfg.fetchDelay(n.rng), func() {
-		if !n.fetching[h] || n.seenBlocks[h] {
-			return
-		}
-		delete(n.fetching, h)
-		peer := announcer.Other(n)
-		n.net.Send(n.netNode, peer.netNode, 64, func() {
-			peer.handleGetBlock(h, announcer)
-		})
-	})
+	n.engine.AfterArg(n.cfg.fetchDelay(n.rng), n, sim.Arg{A: b, B: from, K: tmFetch})
+}
+
+// fetchTimeout fires when an announced block still has not arrived by
+// direct push: request it explicitly from the announcing peer.
+func (n *Node) fetchTimeout(b *types.Block, announcer *Edge) {
+	h := b.Hash
+	if !n.fetching[h] || n.seenBlocks[h] {
+		return
+	}
+	delete(n.fetching, h)
+	peer := announcer.Other(n)
+	n.net.Send(n.netNode, peer.netNode, 64,
+		peer, simnet.Envelope{Kind: evGetBlock, Num: uint64(h), Aux: announcer})
 }
 
 // handleGetBlock serves a block body to a peer that requested it after
@@ -386,9 +454,8 @@ func (n *Node) relayTx(tx *types.Transaction) {
 			continue
 		}
 		e.knownTxs.Add(tx.Hash)
-		peer, edge := e.Other(n), e
-		n.net.Send(n.netNode, peer.netNode, tx.Size, func() {
-			peer.handleTx(tx, edge)
-		})
+		peer := e.Other(n)
+		n.net.Send(n.netNode, peer.netNode, tx.Size,
+			peer, simnet.Envelope{Kind: evTx, Data: tx, Aux: e})
 	}
 }

@@ -108,11 +108,9 @@ func BuildDiscoveryTopology(rng *rand.Rand, nodes []*Node, outDegree int) error 
 	return nil
 }
 
+// isPeer is O(1) via the per-node neighbour bitset; topology builders
+// call it once per dial attempt, and churn rewiring keeps calling it
+// for the life of the campaign.
 func isPeer(a, b *Node) bool {
-	for _, e := range a.edges {
-		if e.Other(a) == b {
-			return true
-		}
-	}
-	return false
+	return a.peerBits.has(int(b.ID()))
 }

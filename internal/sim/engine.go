@@ -4,10 +4,16 @@
 // callbacks at virtual times, and the engine executes them in
 // timestamp order (ties broken by scheduling order) so that a run is
 // fully reproducible from its configuration and seed.
+//
+// The scheduler is built for campaign scale (5,000+ nodes, tens of
+// millions of events): events live in a slab indexed by a hand-rolled
+// binary heap of slot indices, freed slots are recycled through a free
+// list, and the ScheduleArg path lets hot callers (message delivery,
+// protocol timers) enqueue work without allocating a closure — zero
+// steady-state allocations per event.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,35 +24,31 @@ import (
 // the simulation. The zero Time is the simulation epoch.
 type Time = time.Duration
 
-// Event is a scheduled callback.
+// Arg is the packed argument record of an allocation-free event. The
+// interface fields are intended for pointer-shaped payloads (struct
+// pointers, interfaces), which convert to `any` without allocating.
+type Arg struct {
+	A, B, C any
+	U       uint64
+	K       int32
+}
+
+// Handler executes allocation-free events scheduled with ScheduleArg.
+// Implementations dispatch on Arg.K when they serve multiple event
+// kinds.
+type Handler interface {
+	HandleSimEvent(arg Arg)
+}
+
+// event is one scheduled callback in the slab. Exactly one of fn and h
+// is set: fn for the closure path, h (+arg) for the allocation-free
+// path.
 type event struct {
 	at  Time
 	seq uint64 // tie-break for deterministic ordering
 	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	h   Handler
+	arg Arg
 }
 
 // ErrStopped is returned by Run when the engine was stopped explicitly
@@ -58,7 +60,9 @@ var ErrStopped = errors.New("sim: engine stopped")
 // identical seeds yield identical runs.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	slab    []event // event storage; slots recycled via free
+	heap    []int32 // pending slot indices ordered by (at, seq)
+	free    []int32 // recycled slot indices (LIFO for cache locality)
 	seq     uint64
 	stopped bool
 	ran     uint64
@@ -81,7 +85,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Seed returns the master seed the engine was created with.
 func (e *Engine) Seed() int64 { return e.seed }
@@ -112,6 +116,72 @@ func fnv64(s string) uint64 {
 	return h
 }
 
+// alloc claims a slab slot, reusing a freed one when available so
+// churn-heavy campaigns do not grow the slab unboundedly.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.slab = append(e.slab, event{})
+	return int32(len(e.slab) - 1)
+}
+
+// less orders pending events by (at, seq): earlier time first, and
+// within one timestamp, scheduling order. seq is unique, so this is a
+// total order and the pop sequence is independent of heap layout.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.slab[a], &e.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (e *Engine) heapPush(idx int32) {
+	h := append(e.heap, idx)
+	e.heap = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// heapPopTop removes and returns the minimum slot index. The caller
+// must ensure the heap is non-empty.
+func (e *Engine) heapPopTop() int32 {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	h = e.heap
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		least := left
+		if right := left + 1; right < last && e.less(h[right], h[left]) {
+			least = right
+		}
+		if !e.less(h[least], h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
 // Schedule runs fn at the given absolute virtual time. Scheduling in
 // the past (before Now) is an error and the event is dropped with a
 // panic, since it indicates a logic bug in the caller.
@@ -120,7 +190,26 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	idx := e.alloc()
+	ev := &e.slab[idx]
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	e.heapPush(idx)
+}
+
+// ScheduleArg runs h.HandleSimEvent(arg) at the given absolute virtual
+// time. Unlike Schedule it captures no closure: once the slab is warm
+// this path performs zero allocations per event, which is what lets
+// 5,000-node campaigns run tens of millions of deliveries without GC
+// pressure. Ordering semantics are identical to Schedule.
+func (e *Engine) ScheduleArg(at Time, h Handler, arg Arg) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	idx := e.alloc()
+	ev := &e.slab[idx]
+	ev.at, ev.seq, ev.h, ev.arg = at, e.seq, h, arg
+	e.heapPush(idx)
 }
 
 // After runs fn after the given delay from the current time. Negative
@@ -132,8 +221,36 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.Schedule(e.now+d, fn)
 }
 
+// AfterArg runs h.HandleSimEvent(arg) after the given delay from the
+// current time. Negative delays are clamped to zero.
+func (e *Engine) AfterArg(d time.Duration, h Handler, arg Arg) {
+	if d < 0 {
+		d = 0
+	}
+	e.ScheduleArg(e.now+d, h, arg)
+}
+
 // Stop halts the run loop after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
+
+// execTop pops the earliest event, releases its slot for reuse and
+// executes it. The slot is cleared and freed before the callback runs
+// so that callbacks scheduling new events (the dominant pattern)
+// immediately reuse hot slots.
+func (e *Engine) execTop() {
+	idx := e.heapPopTop()
+	ev := &e.slab[idx]
+	at, fn, h, arg := ev.at, ev.fn, ev.h, ev.arg
+	ev.fn, ev.h, ev.arg = nil, nil, Arg{} // release references for GC
+	e.free = append(e.free, idx)
+	e.now = at
+	e.ran++
+	if fn != nil {
+		fn()
+	} else {
+		h.HandleSimEvent(arg)
+	}
+}
 
 // Run executes events in order until the queue drains, the virtual
 // clock passes horizon, or Stop is called. Events scheduled exactly at
@@ -141,16 +258,12 @@ func (e *Engine) Stop() { e.stopped = true }
 // ended and ErrStopped if the engine was stopped explicitly.
 func (e *Engine) Run(horizon Time) (Time, error) {
 	e.stopped = false
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > horizon {
+	for len(e.heap) > 0 {
+		if e.slab[e.heap[0]].at > horizon {
 			e.now = horizon
 			return e.now, nil
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		e.ran++
-		next.fn()
+		e.execTop()
 		if e.stopped {
 			return e.now, ErrStopped
 		}
@@ -164,15 +277,17 @@ func (e *Engine) Run(horizon Time) (Time, error) {
 // Step executes exactly one event, if any, and reports whether an
 // event ran. Useful in tests that need fine-grained control.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*event)
-	e.now = next.at
-	e.ran++
-	next.fn()
+	e.execTop()
 	return true
 }
+
+// slabSize reports the number of slots ever allocated (tests: slot
+// reuse keeps this bounded by the high-water pending count, not the
+// total event count).
+func (e *Engine) slabSize() int { return len(e.slab) }
 
 // ExpDuration samples an exponentially distributed duration with the
 // given mean using the supplied RNG. Used for Poisson processes (block

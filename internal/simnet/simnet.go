@@ -2,6 +2,13 @@
 // a geographic region and bandwidth, links between them, and message
 // delivery with region-dependent latency, size-dependent transfer time
 // and jitter. Protocol behaviour lives one layer up in internal/p2p.
+//
+// Delivery is allocation-free on the steady-state path: senders pass a
+// reusable Envelope (a value, not a pointer) plus a Sink, the network
+// packs both into the engine's closure-free event representation, and
+// the envelope is reconstructed at receive time. Campaigns deliver
+// tens of millions of messages, so this is the difference between a
+// GC-bound and a CPU-bound run at 5,000 nodes.
 package simnet
 
 import (
@@ -92,9 +99,43 @@ func (n *Network) TransferDelay(from, to *Node, size int) time.Duration {
 	return lat + transmit + n.MinOverhead
 }
 
-// Send schedules the delivery of a message of the given size from one
-// node to another; deliver runs at the receive time.
-func (n *Network) Send(from, to *Node, size int, deliver func()) {
+// Envelope is the payload of one in-flight message. Kind discriminates
+// the protocol message type (values are owned by the protocol layer);
+// Data and Aux carry pointer-shaped payloads (block, transaction,
+// link); Num carries a scalar (hash, height). Envelopes are passed by
+// value: sending one does not allocate.
+type Envelope struct {
+	Kind int32
+	Data any
+	Aux  any
+	Num  uint64
+}
+
+// Sink receives delivered envelopes. Protocol nodes implement it.
+type Sink interface {
+	DeliverEnvelope(env Envelope)
+}
+
+// Send schedules the delivery of an envelope of the given wire size
+// from one node to another; sink.DeliverEnvelope(env) runs at the
+// receive time. The steady-state path performs zero allocations.
+func (n *Network) Send(from, to *Node, size int, sink Sink, env Envelope) {
+	d := n.TransferDelay(from, to, size)
+	n.engine.AfterArg(d, n, sim.Arg{A: sink, B: env.Data, C: env.Aux, U: env.Num, K: env.Kind})
+}
+
+// HandleSimEvent is the engine-facing delivery trampoline: it counts
+// the message and hands the reassembled envelope to the sink. Not for
+// direct use.
+func (n *Network) HandleSimEvent(arg sim.Arg) {
+	n.delivered++
+	arg.A.(Sink).DeliverEnvelope(Envelope{Kind: arg.K, Data: arg.B, Aux: arg.C, Num: arg.U})
+}
+
+// SendFunc schedules a closure-based delivery. It allocates per
+// message and exists for tests and low-rate callers; hot paths use
+// Send.
+func (n *Network) SendFunc(from, to *Node, size int, deliver func()) {
 	d := n.TransferDelay(from, to, size)
 	n.engine.After(d, func() {
 		n.delivered++

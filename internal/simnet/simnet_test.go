@@ -65,7 +65,7 @@ func TestSendDeliversAtComputedTime(t *testing.T) {
 	a, _ := net.AddNode(geo.NorthAmerica, 1e9)
 	b, _ := net.AddNode(geo.NorthAmerica, 1e9)
 	var deliveredAt sim.Time
-	net.Send(a, b, 100, func() { deliveredAt = engine.Now() })
+	net.SendFunc(a, b, 100, func() { deliveredAt = engine.Now() })
 	if _, err := engine.Run(time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestSendOrderingPreserved(t *testing.T) {
 	var got []int
 	for i := 0; i < 5; i++ {
 		i := i
-		net.Send(a, b, 10, func() { got = append(got, i) })
+		net.SendFunc(a, b, 10, func() { got = append(got, i) })
 	}
 	if _, err := engine.Run(time.Second); err != nil {
 		t.Fatal(err)
