@@ -3,6 +3,10 @@
 // figures — the simulated equivalent of the paper's pandas/NumPy
 // pipeline over 600 GB of raw Geth logs.
 //
+// The log is processed as a stream: each record is folded into the
+// analysis collector's incremental state as it is parsed, so memory is
+// bounded by distinct blocks and transactions, never by file size.
+//
 // Usage:
 //
 //	ethanalyze -logs logs.jsonl [-top 15]
@@ -11,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -41,21 +46,26 @@ func run(args []string) error {
 		return fmt.Errorf("-logs is required")
 	}
 
-	campaign, err := logs.ReadCampaignFile(*logPath)
+	f, err := os.Open(*logPath)
+	if err != nil {
+		return fmt.Errorf("logs: open: %w", err)
+	}
+	defer f.Close()
+	reader := logs.NewReader(f)
+
+	first, err := reader.Next()
+	if err == io.EOF {
+		return fmt.Errorf("log file %s is empty", *logPath)
+	}
 	if err != nil {
 		return err
 	}
-	if campaign.Chain == nil {
-		return fmt.Errorf("log file has no chain dump; analysis needs it")
-	}
-	dataset := &analysis.Dataset{
-		Blocks: campaign.Blocks,
-		Txs:    campaign.Txs,
-		Chain:  campaign.Chain,
-	}
+
+	dataset := &analysis.Dataset{}
 	networkSize := 0
 	redundancyVantage := ""
-	if meta := campaign.Meta; meta != nil {
+	if first.Kind == logs.KindMeta && first.Meta != nil {
+		meta := first.Meta
 		dataset.Vantages = meta.Vantages
 		dataset.PoolNames = meta.PoolNames
 		dataset.InterBlock = time.Duration(meta.InterBlockNs)
@@ -63,17 +73,70 @@ func run(args []string) error {
 		networkSize = meta.NetworkSize
 		redundancyVantage = meta.RedundancyVantage
 	} else {
-		// Legacy log without metadata: infer vantages from records.
-		dataset.Vantages = inferVantages(campaign.Blocks)
+		// Legacy log without metadata: a cheap prescan collects the
+		// vantage roster (records are decoded but never retained), then
+		// the main pass restarts from the top. The default-peers node
+		// cannot be identified without metadata, so all vantages are
+		// treated as primary.
+		names, err := scanVantages(*logPath)
+		if err != nil {
+			return err
+		}
+		dataset.Vantages = names
 		dataset.InterBlock = 13300 * time.Millisecond
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		reader = logs.NewReader(f)
 	}
-	fmt.Printf("loaded %d block records, %d tx records, %d chain blocks from %s\n\n",
-		len(campaign.Blocks), len(campaign.Txs), campaign.Chain.Len(), *logPath)
+
+	if len(dataset.Vantages) > analysis.MaxVantages {
+		return fmt.Errorf("log file lists %d primary vantages; at most %d supported",
+			len(dataset.Vantages), analysis.MaxVantages)
+	}
+
+	// One streaming pass: records fold into the collector, chain
+	// entries rebuild the registry incrementally.
+	collector := analysis.NewCollector(dataset, redundancyVantage)
+	var builder logs.ChainBuilder
+	for {
+		e, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch e.Kind {
+		case logs.KindBlock:
+			if e.Block != nil {
+				collector.RecordBlock(*e.Block)
+			}
+		case logs.KindTx:
+			if e.Tx != nil {
+				collector.RecordTx(*e.Tx)
+			}
+		case logs.KindChain:
+			if e.Chain != nil {
+				if err := builder.Add(e.Chain); err != nil {
+					return err
+				}
+			}
+		case logs.KindMeta:
+			// Leading meta was already consumed; ignore duplicates.
+		}
+	}
+	dataset.Chain = builder.Registry()
+	if dataset.Chain == nil {
+		return fmt.Errorf("log file has no chain dump; analysis needs it")
+	}
+	fmt.Printf("streamed %d block records, %d tx records, %d chain blocks from %s\n\n",
+		collector.BlockRecords(), collector.TxRecords(), dataset.Chain.Len(), *logPath)
 
 	report.TableI(os.Stdout, measure.PaperInfrastructure())
 	fmt.Println()
 
-	prop, err := analysis.BlockPropagation(dataset)
+	prop, err := collector.Propagation()
 	if err != nil {
 		return err
 	}
@@ -81,7 +144,7 @@ func run(args []string) error {
 	fmt.Println()
 
 	if redundancyVantage != "" {
-		red, err := analysis.Redundancy(dataset, redundancyVantage, networkSize)
+		red, err := collector.Redundancy(networkSize)
 		if err != nil {
 			return err
 		}
@@ -89,15 +152,16 @@ func run(args []string) error {
 		fmt.Println()
 	}
 
-	report.Figure2(os.Stdout, analysis.FirstObservation(dataset))
+	report.Figure2(os.Stdout, collector.FirstObservation())
 	fmt.Println()
-	report.Figure3(os.Stdout, analysis.PoolGeography(dataset, *topN))
+	report.Figure3(os.Stdout, collector.PoolGeography(*topN))
 	fmt.Println()
 
-	if len(campaign.Txs) > 0 {
-		report.Figure4(os.Stdout, analysis.CommitTimes(dataset))
+	hasTxs := collector.TxRecords() > 0
+	if hasTxs {
+		report.Figure4(os.Stdout, collector.Commit())
 		fmt.Println()
-		report.Figure5(os.Stdout, analysis.TransactionOrdering(dataset))
+		report.Figure5(os.Stdout, collector.Ordering())
 		fmt.Println()
 	}
 
@@ -109,25 +173,40 @@ func run(args []string) error {
 	report.OneMinerForks(os.Stdout, analysis.OneMinerForks(dataset, forks))
 	fmt.Println()
 	report.Figure7(os.Stdout, analysis.Sequences(dataset, 6))
-	if len(campaign.Txs) > 0 {
+	if hasTxs {
 		fmt.Println()
-		report.TxPropagation(os.Stdout, analysis.TxPropagation(dataset))
+		report.TxPropagation(os.Stdout, collector.TxPropagation())
 	}
 	return nil
 }
 
-// inferVantages extracts vantage names from records, for logs written
-// without a metadata entry. The default-peers node cannot be identified
-// without metadata, so all vantages are treated as primary.
-func inferVantages(blocks []measure.BlockRecord) []string {
+// scanVantages streams a legacy (metadata-less) log once, collecting
+// the vantage names that appear in block records, sorted.
+func scanVantages(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logs: open: %w", err)
+	}
+	defer f.Close()
+	reader := logs.NewReader(f)
 	seen := make(map[string]bool)
 	var names []string
-	for i := range blocks {
-		if !seen[blocks[i].Vantage] {
-			seen[blocks[i].Vantage] = true
-			names = append(names, blocks[i].Vantage)
+	for {
+		e, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind != logs.KindBlock || e.Block == nil {
+			continue
+		}
+		if !seen[e.Block.Vantage] {
+			seen[e.Block.Vantage] = true
+			names = append(names, e.Block.Vantage)
 		}
 	}
 	sort.Strings(names)
-	return names
+	return names, nil
 }

@@ -6,8 +6,24 @@ import (
 	"time"
 
 	"ethmeasure"
+	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
 )
+
+func analyzerConfig() ethmeasure.Config {
+	cfg := ethmeasure.QuickConfig()
+	cfg.Duration = 5 * time.Minute
+	cfg.NumNodes = 60
+	cfg.OutDegree = 5
+	for i := range cfg.Vantages {
+		if cfg.Vantages[i].Peers > 20 {
+			cfg.Vantages[i].Peers = 20
+		}
+	}
+	cfg.TxGen.Rate = 0.3
+	cfg.TxGen.NumAccounts = 50
+	return cfg
+}
 
 func TestRunRequiresLogs(t *testing.T) {
 	if err := run(nil); err == nil {
@@ -22,17 +38,7 @@ func TestRunMissingFile(t *testing.T) {
 }
 
 func TestRunAnalyzesCampaignFile(t *testing.T) {
-	cfg := ethmeasure.QuickConfig()
-	cfg.Duration = 5 * time.Minute
-	cfg.NumNodes = 60
-	cfg.OutDegree = 5
-	for i := range cfg.Vantages {
-		if cfg.Vantages[i].Peers > 20 {
-			cfg.Vantages[i].Peers = 20
-		}
-	}
-	cfg.TxGen.Rate = 0.3
-	cfg.TxGen.NumAccounts = 50
+	cfg := analyzerConfig()
 	campaign, err := ethmeasure.NewCampaign(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -49,12 +55,63 @@ func TestRunAnalyzesCampaignFile(t *testing.T) {
 	}
 }
 
-func TestInferVantages(t *testing.T) {
-	records := []measure.BlockRecord{
-		{Vantage: "WE"}, {Vantage: "EA"}, {Vantage: "WE"}, {Vantage: "NA"},
+// TestRunAnalyzesSpillFile streams a bounded-memory campaign's spill
+// file — the records were never materialized, neither by the campaign
+// nor by the analyzer.
+func TestRunAnalyzesSpillFile(t *testing.T) {
+	cfg := analyzerConfig()
+	cfg.RetainRecords = false
+	cfg.SpillPath = filepath.Join(t.TempDir(), "spill.jsonl")
+	campaign, err := ethmeasure.NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	got := inferVantages(records)
+	if _, err := campaign.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-logs", cfg.SpillPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeLegacyFile emits a metadata-less log, the pre-metadata format.
+func writeLegacyFile(t *testing.T, path string) {
+	t.Helper()
+	campaign, err := ethmeasure.NewCampaign(analyzerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec := campaign.Recorder()
+	if err := logs.WriteFile(path, rec.Blocks, rec.Txs, campaign.Registry()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnalyzesLegacyFileWithoutMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	writeLegacyFile(t, path)
+	if err := run([]string{"-logs", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanVantages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	blocks := []measure.BlockRecord{
+		{Vantage: "WE", Hash: 1}, {Vantage: "EA", Hash: 1},
+		{Vantage: "WE", Hash: 2}, {Vantage: "NA", Hash: 2},
+	}
+	if err := logs.WriteFile(path, blocks, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := scanVantages(path)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 3 || got[0] != "EA" || got[1] != "NA" || got[2] != "WE" {
-		t.Errorf("inferred %v", got)
+		t.Errorf("scanned %v", got)
 	}
 }

@@ -10,11 +10,17 @@
 //	ethbench -profile full -out BENCH_full.json
 //	ethbench -scales 1000:10 -out BENCH_1k.json
 //
-// Each campaign entry reports ns/event, allocs/event, events/sec, peak
-// heap and message counts for a fixed-seed run, plus a scheduler
-// microbenchmark (ns/op, allocs/op) via testing.Benchmark. Regression
-// checks compare ns_per_event (and ns_per_op) and allocs within a
-// fractional threshold; peak heap and events/sec are informational.
+// Each campaign entry reports the simulation phase (ns/event,
+// allocs/event, events/sec, peak heap) and the analysis phase
+// (records/sec, ns/record, wall, peak heap during analysis — the
+// streaming record pipeline's cost) for a fixed-seed run, plus a
+// scheduler microbenchmark (ns/op, allocs/op) via testing.Benchmark.
+// Campaigns run in bounded-memory mode by default (-retain restores
+// record retention, for before/after comparisons of the two modes).
+// Regression checks compare ns_per_event, ns_per_op, analysis
+// ns/record and allocs within a fractional threshold, and analysis
+// peak heap within the threshold plus a 32 MB epsilon; simulation peak
+// heap and events/sec are informational.
 package main
 
 import (
@@ -50,6 +56,22 @@ type Entry struct {
 	WallMs         float64 `json:"wall_ms,omitempty"`
 	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
 	PeakHeapBytes  uint64  `json:"peak_heap_bytes,omitempty"`
+
+	// Analysis-phase profile: one streaming pass over the records the
+	// campaign produced, finalized into every per-figure result.
+	Records               uint64  `json:"records,omitempty"`
+	AnalysisWallMs        float64 `json:"analysis_wall_ms,omitempty"`
+	AnalysisNsPerRecord   float64 `json:"analysis_ns_per_record,omitempty"`
+	AnalysisRecordsPerSec float64 `json:"analysis_records_per_sec,omitempty"`
+	AnalysisPeakHeapBytes uint64  `json:"analysis_peak_heap_bytes,omitempty"`
+
+	// RetainRecords marks entries measured with raw-record retention
+	// (the batch-compatible mode) rather than the bounded default.
+	RetainRecords bool `json:"retain_records,omitempty"`
+
+	// VantagePeers records a non-default vantage adjacency
+	// (-vantage-peers), which drives record volume.
+	VantagePeers int `json:"vantage_peers,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -108,14 +130,21 @@ func parseScales(spec string) ([]scale, error) {
 // campaignConfig builds the calibrated benchmark campaign for a scale:
 // the default pool population and vantages over an s.nodes-node
 // network, transaction workload on, fixed seed so runs are comparable.
-func campaignConfig(s scale, seed int64) core.Config {
+// vantagePeers > 0 re-peers the primary vantages with that many nodes
+// (the paper's vantages ran "unlimited peers"; record volume scales
+// with vantage adjacency, so this is the knob for record-bound
+// analysis benchmarks). The default caps peers at 50 to keep the
+// simulation-phase numbers comparable across PRs.
+func campaignConfig(s scale, seed int64, vantagePeers int) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Duration = s.virtual
 	cfg.NumNodes = s.nodes
 	cfg.OutDegree = 8
 	for i := range cfg.Vantages {
-		if cfg.Vantages[i].Peers > 50 {
+		if vantagePeers > 0 && !cfg.Vantages[i].Auxiliary {
+			cfg.Vantages[i].Peers = vantagePeers
+		} else if cfg.Vantages[i].Peers > 50 {
 			cfg.Vantages[i].Peers = 50
 		}
 	}
@@ -158,35 +187,68 @@ func (hs *heapSampler) Stop() uint64 {
 	return hs.peak.Load()
 }
 
-func runCampaignEntry(s scale, w io.Writer) (Entry, error) {
-	cfg := campaignConfig(s, 1)
+func runCampaignEntry(s scale, retain bool, vantagePeers int, w io.Writer) (Entry, error) {
+	cfg := campaignConfig(s, 1, vantagePeers)
+	cfg.RetainRecords = retain
 	campaign, err := core.NewCampaign(cfg)
 	if err != nil {
 		return Entry{}, fmt.Errorf("build %d-node campaign: %w", s.nodes, err)
 	}
+	name := fmt.Sprintf("campaign/%d", s.nodes)
+	if retain {
+		name += "/retain"
+	}
+
+	// Simulation phase.
 	runtime.GC()
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	sampler := startHeapSampler()
 
 	start := time.Now()
-	res, err := campaign.Run()
+	simErr := campaign.Simulate()
 	wall := time.Since(start)
 
 	peak := sampler.Stop()
-	if err != nil {
-		return Entry{}, fmt.Errorf("run %d-node campaign: %w", s.nodes, err)
+	if simErr != nil {
+		return Entry{}, fmt.Errorf("run %d-node campaign: %w", s.nodes, simErr)
 	}
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
+
+	// Analysis phase: release the dead simulation graph and GC-fence
+	// first, so the phase's peak heap reflects record-pipeline state —
+	// the arrival index, the chain registry, and (in retained mode)
+	// the raw record slices — not the network or simulation garbage.
+	campaign.ReleaseNetwork()
+	runtime.GC()
+	analysisSampler := startHeapSampler()
+	analysisStart := time.Now()
+	res, err := campaign.Analyze()
+	analysisWall := time.Since(analysisStart)
+	analysisPeak := analysisSampler.Stop()
+	if err != nil {
+		return Entry{}, fmt.Errorf("analyze %d-node campaign: %w", s.nodes, err)
+	}
+	// Short analyses finish between sampler ticks; the post-phase
+	// HeapAlloc is a lower bound on the true peak.
+	var postAnalysis runtime.MemStats
+	runtime.ReadMemStats(&postAnalysis)
+	if postAnalysis.HeapAlloc > analysisPeak {
+		analysisPeak = postAnalysis.HeapAlloc
+	}
 
 	events := res.Stats.Events
 	if events == 0 {
 		return Entry{}, fmt.Errorf("%d-node campaign executed no events", s.nodes)
 	}
+	records := uint64(res.Stats.BlockRecords) + uint64(res.Stats.TxRecords)
+	if records == 0 {
+		return Entry{}, fmt.Errorf("%d-node campaign produced no records", s.nodes)
+	}
 	allocs := after.Mallocs - before.Mallocs
 	e := Entry{
-		Name:           fmt.Sprintf("campaign/%d", s.nodes),
+		Name:           name,
 		Nodes:          s.nodes,
 		VirtualMinutes: s.virtual.Minutes(),
 		Events:         events,
@@ -196,9 +258,20 @@ func runCampaignEntry(s scale, w io.Writer) (Entry, error) {
 		AllocsPerOp:    float64(allocs) / float64(events),
 		EventsPerSec:   float64(events) / wall.Seconds(),
 		PeakHeapBytes:  peak,
+
+		Records:               records,
+		AnalysisWallMs:        float64(analysisWall.Nanoseconds()) / 1e6,
+		AnalysisNsPerRecord:   float64(analysisWall.Nanoseconds()) / float64(records),
+		AnalysisRecordsPerSec: float64(records) / analysisWall.Seconds(),
+		AnalysisPeakHeapBytes: analysisPeak,
+		RetainRecords:         retain,
+		VantagePeers:          vantagePeers,
 	}
-	fmt.Fprintf(w, "%-16s %9.1f ns/event %8.3f allocs/event %12.0f events/s  peak heap %6.1f MB  (%d events, wall %v)\n",
+	fmt.Fprintf(w, "%-22s %9.1f ns/event %8.3f allocs/event %12.0f events/s  peak heap %6.1f MB  (%d events, wall %v)\n",
 		e.Name, e.NsPerOp, e.AllocsPerOp, e.EventsPerSec, float64(peak)/(1<<20), events, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-22s %9.1f ns/record %*s %12.0f records/s  peak heap %6.1f MB  (%d records, wall %v)\n",
+		"  analysis", e.AnalysisNsPerRecord, 21, "", e.AnalysisRecordsPerSec,
+		float64(analysisPeak)/(1<<20), records, analysisWall.Round(time.Millisecond))
 	return e, nil
 }
 
@@ -263,6 +336,24 @@ func compare(fresh, baseline *Report, threshold float64, allocsOnly bool, w io.W
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %.3f exceeds baseline %.3f by more than %.0f%%",
 				e.Name, e.AllocsPerOp, b.AllocsPerOp, threshold*100))
 		}
+		if limit := b.AnalysisNsPerRecord * (1 + threshold); b.AnalysisNsPerRecord > 0 && e.AnalysisNsPerRecord > limit {
+			msg := fmt.Sprintf("%s: analysis ns/record %.1f exceeds baseline %.1f by more than %.0f%%",
+				e.Name, e.AnalysisNsPerRecord, b.AnalysisNsPerRecord, threshold*100)
+			if allocsOnly {
+				fmt.Fprintf(w, "note (informational, -allocs-only): %s\n", msg)
+			} else {
+				failures = append(failures, msg)
+			}
+		}
+		// Analysis peak heap is near machine-independent (it tracks
+		// pipeline state, not timing); gate it with a small absolute
+		// epsilon so tiny campaigns do not flag GC noise.
+		if b.AnalysisPeakHeapBytes > 0 {
+			if limit := float64(b.AnalysisPeakHeapBytes)*(1+threshold) + 32*(1<<20); float64(e.AnalysisPeakHeapBytes) > limit {
+				failures = append(failures, fmt.Sprintf("%s: analysis peak heap %.1f MB exceeds baseline %.1f MB by more than %.0f%% + 32 MB",
+					e.Name, float64(e.AnalysisPeakHeapBytes)/(1<<20), float64(b.AnalysisPeakHeapBytes)/(1<<20), threshold*100))
+			}
+		}
 	}
 	if len(failures) > 0 {
 		sort.Strings(failures)
@@ -297,6 +388,9 @@ func run(args []string, w io.Writer) error {
 	threshold := fs.Float64("threshold", 0.15, "max fractional ns/allocs regression against the baseline")
 	allocsOnly := fs.Bool("allocs-only", false, "gate only on allocs/op; report ns drift without failing (for cross-hardware baselines)")
 	skipEngine := fs.Bool("skip-engine", false, "skip the scheduler microbenchmark")
+	retain := fs.Bool("retain", false, "run campaigns with raw-record retention (batch-compatible mode) instead of the bounded-memory default")
+	bothModes := fs.Bool("both-modes", false, "run every scale in bounded AND retained modes (before/after memory comparison)")
+	vantagePeers := fs.Int("vantage-peers", 0, "re-peer primary vantages with this many nodes (0 = default 50 cap); raises record volume for analysis-phase benchmarks")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -315,11 +409,17 @@ func run(args []string, w io.Writer) error {
 		report.Entries = append(report.Entries, engineEntry(w))
 	}
 	for _, s := range scales {
-		entry, err := runCampaignEntry(s, w)
-		if err != nil {
-			return err
+		modes := []bool{*retain}
+		if *bothModes {
+			modes = []bool{false, true}
 		}
-		report.Entries = append(report.Entries, entry)
+		for _, mode := range modes {
+			entry, err := runCampaignEntry(s, mode, *vantagePeers, w)
+			if err != nil {
+				return err
+			}
+			report.Entries = append(report.Entries, entry)
+		}
 	}
 
 	if *out != "" {

@@ -125,3 +125,55 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		t.Error("regression output missing marker")
 	}
 }
+
+// TestCompareAnalysisGates covers the analysis-phase regression gates:
+// ns/record follows the ns rules (hard fail unless -allocs-only),
+// peak heap fails beyond threshold + 32 MB regardless of -allocs-only.
+func TestCompareAnalysisGates(t *testing.T) {
+	base := &Report{Entries: []Entry{{
+		Name: "campaign/150", NsPerOp: 1000, AllocsPerOp: 1.0,
+		AnalysisNsPerRecord: 100, AnalysisPeakHeapBytes: 100 << 20,
+	}}}
+	var buf bytes.Buffer
+
+	ok := &Report{Entries: []Entry{{
+		Name: "campaign/150", NsPerOp: 1000, AllocsPerOp: 1.0,
+		AnalysisNsPerRecord: 110, AnalysisPeakHeapBytes: 120 << 20, // within 15% + 32 MB
+	}}}
+	if err := compare(ok, base, 0.15, false, &buf); err != nil {
+		t.Fatalf("within-threshold analysis metrics flagged: %v\n%s", err, buf.String())
+	}
+
+	slowAnalysis := &Report{Entries: []Entry{{
+		Name: "campaign/150", NsPerOp: 1000, AllocsPerOp: 1.0,
+		AnalysisNsPerRecord: 200, AnalysisPeakHeapBytes: 100 << 20,
+	}}}
+	if err := compare(slowAnalysis, base, 0.15, false, &buf); err == nil {
+		t.Fatal("2x analysis ns/record not flagged")
+	}
+	if err := compare(slowAnalysis, base, 0.15, true, &buf); err != nil {
+		t.Fatalf("-allocs-only still failed on analysis ns drift: %v", err)
+	}
+
+	fatHeap := &Report{Entries: []Entry{{
+		Name: "campaign/150", NsPerOp: 1000, AllocsPerOp: 1.0,
+		AnalysisNsPerRecord: 100, AnalysisPeakHeapBytes: 200 << 20,
+	}}}
+	if err := compare(fatHeap, base, 0.15, false, &buf); err == nil {
+		t.Fatal("2x analysis peak heap not flagged")
+	}
+	if err := compare(fatHeap, base, 0.15, true, &buf); err == nil {
+		t.Fatal("analysis heap regression must fail even under -allocs-only")
+	}
+
+	// Entries without analysis fields (e.g. microbenchmarks) never trip
+	// the analysis gates.
+	legacy := &Report{Entries: []Entry{{
+		Name: "campaign/150", NsPerOp: 1000, AllocsPerOp: 1.0,
+		AnalysisNsPerRecord: 500, AnalysisPeakHeapBytes: 1 << 30,
+	}}}
+	noAnalysisBase := &Report{Entries: []Entry{{Name: "campaign/150", NsPerOp: 1000, AllocsPerOp: 1.0}}}
+	if err := compare(legacy, noAnalysisBase, 0.15, false, &buf); err != nil {
+		t.Fatalf("baseline without analysis fields must not gate: %v", err)
+	}
+}

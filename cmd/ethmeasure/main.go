@@ -87,9 +87,11 @@ func run(args []string) error {
 	}
 
 	st := results.Stats
-	fmt.Printf("simulated %v in %v wall time: %d events, %d messages, %d blocks, %d txs\n\n",
+	fmt.Printf("simulated %v in %v wall time: %d events, %d messages, %d blocks, %d txs\n",
 		st.VirtualDuration, st.WallDuration.Round(time.Millisecond),
 		st.Events, st.Messages, st.BlocksCreated, st.TxsCreated)
+	fmt.Printf("record pipeline: %d block records, %d tx records streamed\n\n",
+		st.BlockRecords, st.TxRecords)
 	ethmeasure.WriteReport(os.Stdout, results)
 
 	if *logPath != "" {

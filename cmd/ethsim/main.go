@@ -6,7 +6,11 @@
 // Usage:
 //
 //	ethsim -out logs.jsonl [-preset quick|default|paper] [-seed N]
-//	       [-duration D] [-nodes N] [-no-tx]
+//	       [-duration D] [-nodes N] [-no-tx] [-stream]
+//
+// With -stream the campaign runs in bounded-memory mode: records spill
+// straight to the output file as they are produced instead of
+// accumulating in RAM first — the mode for paper-scale durations.
 package main
 
 import (
@@ -34,6 +38,7 @@ func run(args []string) error {
 		duration = fs.Duration("duration", 0, "override virtual campaign duration")
 		nodes    = fs.Int("nodes", 0, "override regular node count")
 		noTx     = fs.Bool("no-tx", false, "disable the transaction workload")
+		stream   = fs.Bool("stream", false, "bounded-memory mode: spill records to -out during the run instead of retaining them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +68,10 @@ func run(args []string) error {
 	if *noTx {
 		cfg.EnableTxWorkload = false
 	}
+	if *stream {
+		cfg.RetainRecords = false
+		cfg.SpillPath = *out
+	}
 
 	campaign, err := ethmeasure.NewCampaign(cfg)
 	if err != nil {
@@ -78,12 +87,13 @@ func run(args []string) error {
 	fmt.Printf("done in %v: %d blocks, %d txs, %d messages\n",
 		time.Since(start).Round(time.Millisecond), st.BlocksCreated, st.TxsCreated, st.Messages)
 
-	rec := campaign.Recorder()
-	if err := campaign.WriteLogs(*out); err != nil {
-		return err
+	if !*stream {
+		if err := campaign.WriteLogs(*out); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("wrote %d block records, %d tx records and the chain dump to %s\n",
-		len(rec.Blocks), len(rec.Txs), *out)
+		st.BlockRecords, st.TxRecords, *out)
 	fmt.Println("analyze with: ethanalyze -logs", *out)
 	return nil
 }

@@ -37,6 +37,36 @@ func TestRunWritesLogs(t *testing.T) {
 	}
 }
 
+// TestRunStreamMatchesBatch writes the same campaign both ways and
+// requires identical file contents: the spill path is the batch file,
+// produced without retaining records. (Byte-identity holds here
+// because -no-tx leaves a single record kind; with transactions the
+// spill interleaves kinds in arrival order while WriteLogs groups
+// them — same per-kind order, which is all the analyzers read.)
+func TestRunStreamMatchesBatch(t *testing.T) {
+	dir := t.TempDir()
+	batch := filepath.Join(dir, "batch.jsonl")
+	stream := filepath.Join(dir, "stream.jsonl")
+	args := []string{"-preset", "quick", "-duration", "5m", "-nodes", "60", "-no-tx", "-seed", "3"}
+	if err := run(append([]string{"-out", batch}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-out", stream, "-stream"}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || string(a) != string(b) {
+		t.Fatalf("streamed file differs from batch file (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")

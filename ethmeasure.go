@@ -58,6 +58,19 @@ type (
 	Region = geo.Region
 	// MachineSpec is one measurement machine (paper Table I).
 	MachineSpec = measure.MachineSpec
+	// Recorder consumes measurement records — implement it to tap the
+	// campaign's record bus (Campaign.AttachRecorder).
+	Recorder = measure.Recorder
+	// RecordBus fans records out to registered consumers.
+	RecordBus = measure.Bus
+	// BlockRecord is one logged block-related message reception.
+	BlockRecord = measure.BlockRecord
+	// TxRecord is one transaction first-observation record.
+	TxRecord = measure.TxRecord
+	// Collector is the streaming analysis pipeline: the bus consumer
+	// that folds records into the shared arrival index and finalizes
+	// every record-driven figure without retaining the records.
+	Collector = analysis.Collector
 	// PoolID identifies a mining pool in winner sequences.
 	PoolID = types.PoolID
 	// HistoricalEpoch is one period of chain history with its own

@@ -34,37 +34,36 @@ type CommitTimeResult struct {
 	Median12Sec float64
 }
 
-// CommitTimes computes Figure 4. A transaction contributes to the
+// Commit finalizes Figure 4 from the shared transaction arrival index
+// and the main-chain index. A transaction contributes to the
 // k-confirmation curve only if the chain grew at least k blocks past
 // its including block before the run ended (no right-censored points).
-func CommitTimes(d *Dataset) *CommitTimeResult {
-	idx := d.buildMainIndex()
-	txSeen := d.txFirstSeen()
-	blockSeen := d.blockFirstSeen()
+func (c *Collector) Commit() *CommitTimeResult {
+	idx := c.mainIndex()
 
 	res := &CommitTimeResult{
-		InclusionSec: stats.NewSample(len(txSeen)),
+		InclusionSec: stats.NewSample(len(c.txList)),
 		ConfirmSec:   make(map[int]*stats.Sample, len(ConfirmationLevels)),
 	}
 	for _, k := range ConfirmationLevels {
-		res.ConfirmSec[k] = stats.NewSample(len(txSeen))
+		res.ConfirmSec[k] = stats.NewSample(len(c.txList))
 	}
 	var headNumber uint64
 	if len(idx.main) > 0 {
 		headNumber = idx.main[len(idx.main)-1].Number
 	}
 
-	for txHash, seenAt := range txSeen {
-		block, ok := idx.txToBlock[txHash]
+	for _, a := range c.txList {
+		block, ok := idx.txToBlock[a.hash]
 		if !ok {
 			continue // never committed
 		}
-		inclAt, ok := blockSeen[block.Hash]
+		inclAt, ok := c.blockFirstSeen(block.Hash)
 		if !ok {
 			continue // including block never observed (shouldn't happen)
 		}
 		res.CommittedTxs++
-		res.InclusionSec.Add(secondsSince(seenAt, inclAt))
+		res.InclusionSec.Add(secondsSince(a.minTime, inclAt))
 		for _, k := range ConfirmationLevels {
 			confHeight := block.Number + uint64(k)
 			if confHeight > headNumber {
@@ -74,15 +73,20 @@ func CommitTimes(d *Dataset) *CommitTimeResult {
 			if !ok {
 				continue
 			}
-			confAt, ok := blockSeen[confBlock.Hash]
+			confAt, ok := c.blockFirstSeen(confBlock.Hash)
 			if !ok {
 				continue
 			}
-			res.ConfirmSec[k].Add(secondsSince(seenAt, confAt))
+			res.ConfirmSec[k].Add(secondsSince(a.minTime, confAt))
 		}
 	}
 	res.Median12Sec = res.ConfirmSec[12].MustQuantile(0.5)
 	return res
+}
+
+// CommitTimes computes Figure 4 from a materialized dataset.
+func CommitTimes(d *Dataset) *CommitTimeResult {
+	return Collect(d, "").Commit()
 }
 
 func secondsSince(from, to time.Duration) float64 {
@@ -110,15 +114,14 @@ type OrderingResult struct {
 	OutOfOrderP50, OutOfOrderP90 float64
 }
 
-// TransactionOrdering computes Figure 5. A committed transaction is
-// out-of-order when it was first observed before some same-sender
-// transaction with a lower nonce (paper §III-C2).
-func TransactionOrdering(d *Dataset) *OrderingResult {
-	idx := d.buildMainIndex()
-	txSeen := d.txFirstSeen()
-	blockSeen := d.blockFirstSeen()
+// Ordering finalizes Figure 5. A committed transaction is out-of-order
+// when it was first observed before some same-sender transaction with
+// a lower nonce (paper §III-C2). The shared index already holds each
+// transaction's sender, nonce and global first observation in stream
+// order, so this is a pass over unique transactions, not raw records.
+func (c *Collector) Ordering() *OrderingResult {
+	idx := c.mainIndex()
 
-	// Collect committed transactions per sender with nonce + seen time.
 	// Commit delay runs to the 12th confirmation block (the paper's
 	// 189 s / 192 s medians use the default commit rule).
 	const commitDepth = 12
@@ -131,16 +134,10 @@ func TransactionOrdering(d *Dataset) *OrderingResult {
 		seenAt time.Duration
 		commit time.Duration
 	}
-	primary := d.primarySet()
 	bySender := make(map[types.AccountID][]txObs)
-	seenMeta := make(map[types.Hash]bool, len(d.Txs))
-	for i := range d.Txs {
-		r := &d.Txs[i]
-		if !primary[r.Vantage] || seenMeta[r.Hash] {
-			continue
-		}
-		seenMeta[r.Hash] = true
-		block, ok := idx.txToBlock[r.Hash]
+	senderOrder := make([]types.AccountID, 0, 64) // first-appearance order
+	for _, a := range c.txList {
+		block, ok := idx.txToBlock[a.hash]
 		if !ok {
 			continue
 		}
@@ -152,13 +149,16 @@ func TransactionOrdering(d *Dataset) *OrderingResult {
 		if !ok {
 			continue
 		}
-		commitAt, ok := blockSeen[confBlock.Hash]
+		commitAt, ok := c.blockFirstSeen(confBlock.Hash)
 		if !ok {
 			continue
 		}
-		bySender[r.Sender] = append(bySender[r.Sender], txObs{
-			nonce:  r.Nonce,
-			seenAt: txSeen[r.Hash],
+		if _, ok := bySender[a.sender]; !ok {
+			senderOrder = append(senderOrder, a.sender)
+		}
+		bySender[a.sender] = append(bySender[a.sender], txObs{
+			nonce:  a.nonce,
+			seenAt: a.minTime,
 			commit: commitAt,
 		})
 	}
@@ -167,7 +167,8 @@ func TransactionOrdering(d *Dataset) *OrderingResult {
 		InOrderSec:    stats.NewSample(1024),
 		OutOfOrderSec: stats.NewSample(256),
 	}
-	for _, txs := range bySender {
+	for _, sender := range senderOrder {
+		txs := bySender[sender]
 		sort.Slice(txs, func(i, j int) bool { return txs[i].nonce < txs[j].nonce })
 		// A tx is out-of-order if some lower-nonce tx was seen later.
 		maxSeen := time.Duration(-1 << 62)
@@ -193,4 +194,9 @@ func TransactionOrdering(d *Dataset) *OrderingResult {
 	res.OutOfOrderP50 = res.OutOfOrderSec.MustQuantile(0.5)
 	res.OutOfOrderP90 = res.OutOfOrderSec.MustQuantile(0.9)
 	return res
+}
+
+// TransactionOrdering computes Figure 5 from a materialized dataset.
+func TransactionOrdering(d *Dataset) *OrderingResult {
+	return Collect(d, "").Ordering()
 }

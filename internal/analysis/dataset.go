@@ -1,12 +1,12 @@
 // Package analysis implements the paper's measurement-processing
 // pipeline: one analyzer per table and figure of the evaluation
-// (§III), operating on the records collected by the measurement
-// vantages plus the global block registry.
+// (§III). Record-driven analyses stream through the Collector's
+// shared arrival index; chain-driven analyses read the global block
+// registry.
 package analysis
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"ethmeasure/internal/chain"
@@ -24,10 +24,13 @@ type Dataset struct {
 	Vantages []string
 
 	// Blocks holds every block-related message reception at every
-	// vantage (full blocks, announcements, fetched bodies).
+	// vantage (full blocks, announcements, fetched bodies). Nil when
+	// the campaign ran in bounded-memory mode: the records streamed
+	// through the Collector instead of being retained.
 	Blocks []measure.BlockRecord
 
 	// Txs holds the first observation of each transaction per vantage.
+	// Nil in bounded-memory mode, like Blocks.
 	Txs []measure.TxRecord
 
 	// Chain is the global registry of all blocks created during the
@@ -51,105 +54,6 @@ func (d *Dataset) PoolName(id types.PoolID) string {
 		return fmt.Sprintf("pool-%d", id)
 	}
 	return d.PoolNames[i]
-}
-
-// blockArrivals groups block records by hash, keeping the earliest
-// observation per vantage (any message kind: a hash announcement
-// counts as observing the block, as in the paper's methodology).
-type blockArrivals struct {
-	hash    types.Hash
-	first   map[string]time.Duration // vantage -> earliest local time
-	minTime time.Duration
-	minVant string
-}
-
-// primarySet returns the set of primary vantage names.
-func (d *Dataset) primarySet() map[string]bool {
-	set := make(map[string]bool, len(d.Vantages))
-	for _, v := range d.Vantages {
-		set[v] = true
-	}
-	return set
-}
-
-// arrivalsByBlock computes per-block earliest arrivals per primary
-// vantage. Blocks are returned in ascending order of their global
-// first observation.
-func (d *Dataset) arrivalsByBlock() []*blockArrivals {
-	primary := d.primarySet()
-	byHash := make(map[types.Hash]*blockArrivals, 1024)
-	for i := range d.Blocks {
-		r := &d.Blocks[i]
-		if !primary[r.Vantage] {
-			continue
-		}
-		a, ok := byHash[r.Hash]
-		if !ok {
-			a = &blockArrivals{
-				hash:    r.Hash,
-				first:   make(map[string]time.Duration, 4),
-				minTime: r.At,
-				minVant: r.Vantage,
-			}
-			byHash[r.Hash] = a
-		}
-		prev, seen := a.first[r.Vantage]
-		if !seen || r.At < prev {
-			a.first[r.Vantage] = r.At
-		}
-		if r.At < a.minTime {
-			a.minTime = r.At
-			a.minVant = r.Vantage
-		}
-	}
-	out := make([]*blockArrivals, 0, len(byHash))
-	for _, a := range byHash {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].minTime != out[j].minTime {
-			return out[i].minTime < out[j].minTime
-		}
-		return out[i].hash < out[j].hash
-	})
-	return out
-}
-
-// txFirstSeen computes, per transaction, the earliest observation
-// across the primary vantages (the paper's "first observed by our
-// measurement nodes").
-func (d *Dataset) txFirstSeen() map[types.Hash]time.Duration {
-	primary := d.primarySet()
-	first := make(map[types.Hash]time.Duration, len(d.Txs)/2)
-	for i := range d.Txs {
-		r := &d.Txs[i]
-		if !primary[r.Vantage] {
-			continue
-		}
-		prev, ok := first[r.Hash]
-		if !ok || r.At < prev {
-			first[r.Hash] = r.At
-		}
-	}
-	return first
-}
-
-// blockFirstSeen computes, per block, the earliest observation across
-// the primary vantages.
-func (d *Dataset) blockFirstSeen() map[types.Hash]time.Duration {
-	primary := d.primarySet()
-	first := make(map[types.Hash]time.Duration, 1024)
-	for i := range d.Blocks {
-		r := &d.Blocks[i]
-		if !primary[r.Vantage] {
-			continue
-		}
-		prev, ok := first[r.Hash]
-		if !ok || r.At < prev {
-			first[r.Hash] = r.At
-		}
-	}
-	return first
 }
 
 // mainChainIndex maps every committed transaction to its including

@@ -37,27 +37,26 @@ var defaultFeeBands = []FeeBandRow{
 	{Label: "premium (40+)", MinPrice: 40, MaxPrice: 0},
 }
 
-// FeeMarket computes inclusion delay per gas-price band. priceOf maps
-// a transaction hash to its gas price (return 0, false when unknown).
-func FeeMarket(d *Dataset, priceOf func(types.Hash) (uint64, bool)) *FeeMarketResult {
-	idx := d.buildMainIndex()
-	txSeen := d.txFirstSeen()
-	blockSeen := d.blockFirstSeen()
+// FeeMarket finalizes inclusion delay per gas-price band from the
+// shared transaction arrival index. priceOf maps a transaction hash to
+// its gas price (return 0, false when unknown).
+func (c *Collector) FeeMarket(priceOf func(types.Hash) (uint64, bool)) *FeeMarketResult {
+	idx := c.mainIndex()
 
 	samples := make([]*stats.Sample, len(defaultFeeBands))
 	for i := range samples {
 		samples[i] = stats.NewSample(256)
 	}
-	for txHash, seenAt := range txSeen {
-		price, ok := priceOf(txHash)
+	for _, a := range c.txList {
+		price, ok := priceOf(a.hash)
 		if !ok {
 			continue
 		}
-		block, ok := idx.txToBlock[txHash]
+		block, ok := idx.txToBlock[a.hash]
 		if !ok {
 			continue
 		}
-		inclAt, ok := blockSeen[block.Hash]
+		inclAt, ok := c.blockFirstSeen(block.Hash)
 		if !ok {
 			continue
 		}
@@ -68,7 +67,7 @@ func FeeMarket(d *Dataset, priceOf func(types.Hash) (uint64, bool)) *FeeMarketRe
 			if band.MaxPrice != 0 && price > band.MaxPrice {
 				continue
 			}
-			samples[i].Add(secondsSince(seenAt, inclAt))
+			samples[i].Add(secondsSince(a.minTime, inclAt))
 			break
 		}
 	}
@@ -88,4 +87,10 @@ func FeeMarket(d *Dataset, priceOf func(types.Hash) (uint64, bool)) *FeeMarketRe
 	// Expected signature: medians fall (weakly) as fee bands rise.
 	res.MedianTrendDecreasing = len(medians) >= 2 && medians[0] >= medians[len(medians)-1]
 	return res
+}
+
+// FeeMarket computes inclusion delay per gas-price band from a
+// materialized dataset.
+func FeeMarket(d *Dataset, priceOf func(types.Hash) (uint64, bool)) *FeeMarketResult {
+	return Collect(d, "").FeeMarket(priceOf)
 }

@@ -24,27 +24,27 @@ type FirstObservationResult struct {
 	UncertainShare float64
 }
 
-// FirstObservation computes Figure 2.
-func FirstObservation(d *Dataset) *FirstObservationResult {
+// FirstObservation finalizes Figure 2 from the shared arrival index.
+func (c *Collector) FirstObservation() *FirstObservationResult {
 	res := &FirstObservationResult{
-		Vantages: append([]string(nil), d.Vantages...),
-		Shares:   make(map[string]float64, len(d.Vantages)),
-		Counts:   make(map[string]int, len(d.Vantages)),
+		Vantages: append([]string(nil), c.ds.Vantages...),
+		Shares:   make(map[string]float64, len(c.ds.Vantages)),
+		Counts:   make(map[string]int, len(c.ds.Vantages)),
 	}
 	uncertain := 0
-	for _, a := range d.arrivalsByBlock() {
-		if len(a.first) < 2 {
+	for _, a := range c.sortedArrivals() {
+		if a.vantages < 2 {
 			continue
 		}
 		res.Blocks++
-		res.Counts[a.minVant]++
+		res.Counts[c.vantageName(a.minVant)]++
 		// Margin to the runner-up.
 		second := time.Duration(1<<62 - 1)
-		for v, at := range a.first {
-			if v == a.minVant {
+		for vi := range a.at {
+			if vi == a.minVant || a.seen&(1<<uint(vi)) == 0 {
 				continue
 			}
-			if delta := at - a.minTime; delta < second {
+			if delta := a.at[vi] - a.minTime; delta < second {
 				second = delta
 			}
 		}
@@ -53,12 +53,17 @@ func FirstObservation(d *Dataset) *FirstObservationResult {
 		}
 	}
 	if res.Blocks > 0 {
-		for v, c := range res.Counts {
-			res.Shares[v] = float64(c) / float64(res.Blocks)
+		for v, cnt := range res.Counts {
+			res.Shares[v] = float64(cnt) / float64(res.Blocks)
 		}
 		res.UncertainShare = float64(uncertain) / float64(res.Blocks)
 	}
 	return res
+}
+
+// FirstObservation computes Figure 2 from a materialized dataset.
+func FirstObservation(d *Dataset) *FirstObservationResult {
+	return Collect(d, "").FirstObservation()
 }
 
 // PoolGeographyRow is one bar group of Figure 3: which vantage sees a
@@ -79,21 +84,22 @@ type PoolGeographyResult struct {
 	Blocks   int
 }
 
-// PoolGeography computes Figure 3 over the topN most productive pools;
-// remaining pools are aggregated into a final "Remaining miners" row.
-func PoolGeography(d *Dataset, topN int) *PoolGeographyResult {
-	// Identify each observed block's miner from the registry.
+// PoolGeography finalizes Figure 3 over the topN most productive
+// pools; remaining pools aggregate into a final "Remaining miners"
+// row. The block's miner comes from the chain registry, available at
+// finalize time.
+func (c *Collector) PoolGeography(topN int) *PoolGeographyResult {
 	type poolAgg struct {
 		blocks int
 		firsts map[string]int
 	}
 	byPool := make(map[types.PoolID]*poolAgg)
 	total := 0
-	for _, a := range d.arrivalsByBlock() {
-		if len(a.first) < 2 {
+	for _, a := range c.sortedArrivals() {
+		if a.vantages < 2 {
 			continue
 		}
-		b, ok := d.Chain.Get(a.hash)
+		b, ok := c.ds.Chain.Get(a.hash)
 		if !ok || b.Miner == 0 {
 			continue
 		}
@@ -103,7 +109,7 @@ func PoolGeography(d *Dataset, topN int) *PoolGeographyResult {
 			byPool[b.Miner] = agg
 		}
 		agg.blocks++
-		agg.firsts[a.minVant]++
+		agg.firsts[c.vantageName(a.minVant)]++
 		total++
 	}
 
@@ -119,7 +125,7 @@ func PoolGeography(d *Dataset, topN int) *PoolGeographyResult {
 	})
 
 	res := &PoolGeographyResult{
-		Vantages: append([]string(nil), d.Vantages...),
+		Vantages: append([]string(nil), c.ds.Vantages...),
 		Blocks:   total,
 	}
 	makeRow := func(name string, agg *poolAgg) PoolGeographyRow {
@@ -131,24 +137,29 @@ func PoolGeography(d *Dataset, topN int) *PoolGeographyResult {
 		if total > 0 {
 			row.PowerShare = float64(agg.blocks) / float64(total)
 		}
-		for v, c := range agg.firsts {
-			row.Shares[v] = float64(c) / float64(agg.blocks)
+		for v, cnt := range agg.firsts {
+			row.Shares[v] = float64(cnt) / float64(agg.blocks)
 		}
 		return row
 	}
 	rest := &poolAgg{firsts: make(map[string]int, 4)}
 	for i, id := range ids {
 		if topN <= 0 || i < topN {
-			res.Rows = append(res.Rows, makeRow(d.PoolName(id), byPool[id]))
+			res.Rows = append(res.Rows, makeRow(c.ds.PoolName(id), byPool[id]))
 			continue
 		}
 		rest.blocks += byPool[id].blocks
-		for v, c := range byPool[id].firsts {
-			rest.firsts[v] += c
+		for v, cnt := range byPool[id].firsts {
+			rest.firsts[v] += cnt
 		}
 	}
 	if rest.blocks > 0 {
 		res.Rows = append(res.Rows, makeRow("Remaining miners", rest))
 	}
 	return res
+}
+
+// PoolGeography computes Figure 3 from a materialized dataset.
+func PoolGeography(d *Dataset, topN int) *PoolGeographyResult {
+	return Collect(d, "").PoolGeography(topN)
 }

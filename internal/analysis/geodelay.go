@@ -27,38 +27,37 @@ type GeoDelayResult struct {
 	Blocks int
 }
 
-// GeoDelay computes per-vantage lag distributions.
-func GeoDelay(d *Dataset) *GeoDelayResult {
+// GeoDelay finalizes per-vantage lag distributions from the shared
+// arrival index.
+func (c *Collector) GeoDelay() *GeoDelayResult {
 	res := &GeoDelayResult{
-		Vantages: append([]string(nil), d.Vantages...),
-		MedianMs: make(map[string]float64, len(d.Vantages)),
-		P90Ms:    make(map[string]float64, len(d.Vantages)),
-		Samples:  make(map[string]int, len(d.Vantages)),
+		Vantages: append([]string(nil), c.ds.Vantages...),
+		MedianMs: make(map[string]float64, len(c.ds.Vantages)),
+		P90Ms:    make(map[string]float64, len(c.ds.Vantages)),
+		Samples:  make(map[string]int, len(c.ds.Vantages)),
 	}
-	perVantage := make(map[string]*stats.Sample, len(d.Vantages))
-	for _, v := range d.Vantages {
-		perVantage[v] = stats.NewSample(1024)
+	perVantage := make([]*stats.Sample, len(c.ds.Vantages))
+	for vi := range perVantage {
+		perVantage[vi] = stats.NewSample(1024)
 	}
-	for _, a := range d.arrivalsByBlock() {
-		if len(a.first) < 2 {
+	for _, a := range c.sortedArrivals() {
+		if a.vantages < 2 {
 			continue
 		}
 		res.Blocks++
-		for vant, at := range a.first {
-			if vant == a.minVant {
+		for vi := range a.at {
+			if vi == a.minVant || a.seen&(1<<uint(vi)) == 0 {
 				continue
 			}
-			delta := at - a.minTime
+			delta := a.at[vi] - a.minTime
 			if delta < 0 {
 				delta = 0
 			}
-			if s, ok := perVantage[vant]; ok {
-				s.Add(float64(delta) / float64(time.Millisecond))
-			}
+			perVantage[vi].Add(float64(delta) / float64(time.Millisecond))
 		}
 	}
-	for _, v := range d.Vantages {
-		s := perVantage[v]
+	for vi, v := range c.ds.Vantages {
+		s := perVantage[vi]
 		res.Samples[v] = s.N()
 		if s.N() > 0 {
 			res.MedianMs[v] = s.MustQuantile(0.5)
@@ -66,4 +65,10 @@ func GeoDelay(d *Dataset) *GeoDelayResult {
 		}
 	}
 	return res
+}
+
+// GeoDelay computes per-vantage lag distributions from a materialized
+// dataset.
+func GeoDelay(d *Dataset) *GeoDelayResult {
+	return Collect(d, "").GeoDelay()
 }

@@ -30,9 +30,10 @@ type PropagationResult struct {
 	InterBlockRatio float64
 }
 
-// BlockPropagation computes the Figure 1 analysis.
-func BlockPropagation(d *Dataset) (*PropagationResult, error) {
-	arrivals := d.arrivalsByBlock()
+// Propagation finalizes the Figure 1 analysis from the shared arrival
+// index: one pass over per-block arrivals, vantages in roster order.
+func (c *Collector) Propagation() (*PropagationResult, error) {
+	arrivals := c.sortedArrivals()
 	sample := stats.NewSample(len(arrivals) * 3)
 	hist, err := stats.NewHistogram(0, 500, 50)
 	if err != nil {
@@ -40,15 +41,15 @@ func BlockPropagation(d *Dataset) (*PropagationResult, error) {
 	}
 	blocks := 0
 	for _, a := range arrivals {
-		if len(a.first) < 2 {
+		if a.vantages < 2 {
 			continue
 		}
 		blocks++
-		for vant, at := range a.first {
-			if vant == a.minVant {
+		for vi := range a.at {
+			if vi == a.minVant || a.seen&(1<<uint(vi)) == 0 {
 				continue
 			}
-			delta := at - a.minTime
+			delta := a.at[vi] - a.minTime
 			if delta < 0 {
 				delta = 0
 			}
@@ -72,8 +73,14 @@ func BlockPropagation(d *Dataset) (*PropagationResult, error) {
 		res.P95Ms = sample.MustQuantile(0.95)
 		res.P99Ms = sample.MustQuantile(0.99)
 		if res.MeanMs > 0 {
-			res.InterBlockRatio = float64(d.InterBlock) / float64(time.Millisecond) / res.MeanMs
+			res.InterBlockRatio = float64(c.ds.InterBlock) / float64(time.Millisecond) / res.MeanMs
 		}
 	}
 	return res, nil
+}
+
+// BlockPropagation computes the Figure 1 analysis from a materialized
+// dataset (batch path: replays the records through a Collector).
+func BlockPropagation(d *Dataset) (*PropagationResult, error) {
+	return Collect(d, "").Propagation()
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"ethmeasure/internal/stats"
-	"ethmeasure/internal/types"
 )
 
 // RedundancyRow is one row of Table II.
@@ -33,43 +32,20 @@ type RedundancyResult struct {
 	OptimalLn float64
 }
 
-// Redundancy computes Table II from the records of the named vantage.
+// Redundancy finalizes Table II from the streaming per-block gossip
+// counters of the collector's configured redundancy vantage.
 // networkSize feeds the ln(n) optimality comparison.
-func Redundancy(d *Dataset, vantage string, networkSize int) (*RedundancyResult, error) {
-	type counts struct{ ann, full int }
-	perBlock := make(map[types.Hash]*counts, 1024)
-	found := false
-	for i := range d.Blocks {
-		r := &d.Blocks[i]
-		if r.Vantage != vantage {
-			continue
-		}
-		found = true
-		c, ok := perBlock[r.Hash]
-		if !ok {
-			c = &counts{}
-			perBlock[r.Hash] = c
-		}
-		switch r.Kind {
-		case "announce":
-			c.ann++
-		case "block":
-			c.full++
-			// "fetched" bodies are replies to explicit requests, not
-			// redundant gossip, and are excluded as in the paper.
-		}
+func (c *Collector) Redundancy(networkSize int) (*RedundancyResult, error) {
+	if !c.redSeen {
+		return nil, fmt.Errorf("analysis: no records for vantage %q", c.redVantage)
 	}
-	if !found {
-		return nil, fmt.Errorf("analysis: no records for vantage %q", vantage)
-	}
-
-	ann := stats.NewSample(len(perBlock))
-	full := stats.NewSample(len(perBlock))
-	both := stats.NewSample(len(perBlock))
-	for _, c := range perBlock {
-		ann.Add(float64(c.ann))
-		full.Add(float64(c.full))
-		both.Add(float64(c.ann + c.full))
+	ann := stats.NewSample(len(c.redList))
+	full := stats.NewSample(len(c.redList))
+	both := stats.NewSample(len(c.redList))
+	for _, cnt := range c.redList {
+		ann.Add(float64(cnt.ann))
+		full.Add(float64(cnt.full))
+		both.Add(float64(cnt.ann + cnt.full))
 	}
 	row := func(name string, s *stats.Sample) RedundancyRow {
 		mean, _ := s.Mean()
@@ -82,8 +58,8 @@ func Redundancy(d *Dataset, vantage string, networkSize int) (*RedundancyResult,
 		}
 	}
 	res := &RedundancyResult{
-		Vantage:       vantage,
-		Blocks:        len(perBlock),
+		Vantage:       c.redVantage,
+		Blocks:        len(c.redList),
 		Announcements: row("Announcements", ann),
 		WholeBlocks:   row("Whole Blocks", full),
 		Combined:      row("Both combined", both),
@@ -92,4 +68,10 @@ func Redundancy(d *Dataset, vantage string, networkSize int) (*RedundancyResult,
 		res.OptimalLn = math.Log(float64(networkSize))
 	}
 	return res, nil
+}
+
+// Redundancy computes Table II from the records of the named vantage
+// in a materialized dataset.
+func Redundancy(d *Dataset, vantage string, networkSize int) (*RedundancyResult, error) {
+	return Collect(d, vantage).Redundancy(networkSize)
 }

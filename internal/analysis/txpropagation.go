@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"ethmeasure/internal/stats"
-	"ethmeasure/internal/types"
 )
 
 // TxPropagationResult covers §III-A1's transaction-propagation
@@ -35,77 +34,45 @@ type TxPropagationResult struct {
 	FirstShareSpread float64
 }
 
-// TxPropagation computes the §III-A1 transaction-geography analysis.
-func TxPropagation(d *Dataset) *TxPropagationResult {
-	type arrival struct {
-		first   map[string]time.Duration
-		minTime time.Duration
-		minVant string
-	}
-	primary := d.primarySet()
-	byHash := make(map[types.Hash]*arrival, len(d.Txs)/2)
-	for i := range d.Txs {
-		r := &d.Txs[i]
-		if !primary[r.Vantage] {
-			continue
-		}
-		a, ok := byHash[r.Hash]
-		if !ok {
-			a = &arrival{
-				first:   make(map[string]time.Duration, 4),
-				minTime: r.At,
-				minVant: r.Vantage,
-			}
-			byHash[r.Hash] = a
-		}
-		prev, seen := a.first[r.Vantage]
-		if !seen || r.At < prev {
-			a.first[r.Vantage] = r.At
-		}
-		if r.At < a.minTime {
-			a.minTime = r.At
-			a.minVant = r.Vantage
-		}
-	}
-
+// TxPropagation finalizes the §III-A1 transaction-geography analysis
+// from the shared transaction arrival index.
+func (c *Collector) TxPropagation() *TxPropagationResult {
 	res := &TxPropagationResult{
-		Vantages:      append([]string(nil), d.Vantages...),
-		FirstShares:   make(map[string]float64, len(d.Vantages)),
-		MedianDelayMs: make(map[string]float64, len(d.Vantages)),
-		DelaysMs:      stats.NewSample(len(byHash) * 3),
+		Vantages:      append([]string(nil), c.ds.Vantages...),
+		FirstShares:   make(map[string]float64, len(c.ds.Vantages)),
+		MedianDelayMs: make(map[string]float64, len(c.ds.Vantages)),
+		DelaysMs:      stats.NewSample(len(c.txList) * 3),
 	}
-	perVantage := make(map[string]*stats.Sample, len(d.Vantages))
-	firsts := make(map[string]int, len(d.Vantages))
-	for _, a := range byHash {
-		if len(a.first) < 2 {
+	perVantage := make([]*stats.Sample, len(c.ds.Vantages))
+	firsts := make([]int, len(c.ds.Vantages))
+	for vi := range perVantage {
+		perVantage[vi] = stats.NewSample(1024)
+	}
+	for _, a := range c.txList {
+		if a.vantages < 2 {
 			continue
 		}
 		res.Txs++
 		firsts[a.minVant]++
-		for vant, at := range a.first {
-			if vant == a.minVant {
+		for vi := range a.at {
+			if vi == a.minVant || a.seen&(1<<uint(vi)) == 0 {
 				continue
 			}
-			delta := at - a.minTime
+			delta := a.at[vi] - a.minTime
 			if delta < 0 {
 				delta = 0
 			}
 			ms := float64(delta) / float64(time.Millisecond)
 			res.DelaysMs.Add(ms)
-			s, ok := perVantage[vant]
-			if !ok {
-				s = stats.NewSample(1024)
-				perVantage[vant] = s
-			}
-			s.Add(ms)
+			perVantage[vi].Add(ms)
 		}
 	}
 	if res.Txs == 0 {
 		return res
 	}
 	minShare, maxShare := 1.0, 0.0
-	for _, v := range d.Vantages {
-		share := float64(firsts[v]) / float64(res.Txs)
+	for vi, v := range c.ds.Vantages {
+		share := float64(firsts[vi]) / float64(res.Txs)
 		res.FirstShares[v] = share
 		if share < minShare {
 			minShare = share
@@ -113,10 +80,16 @@ func TxPropagation(d *Dataset) *TxPropagationResult {
 		if share > maxShare {
 			maxShare = share
 		}
-		if s, ok := perVantage[v]; ok {
+		if s := perVantage[vi]; s.N() > 0 {
 			res.MedianDelayMs[v] = s.MustQuantile(0.5)
 		}
 	}
 	res.FirstShareSpread = maxShare - minShare
 	return res
+}
+
+// TxPropagation computes the §III-A1 analysis from a materialized
+// dataset.
+func TxPropagation(d *Dataset) *TxPropagationResult {
+	return Collect(d, "").TxPropagation()
 }

@@ -40,11 +40,11 @@ type WithholdingResult struct {
 	Suspects []string
 }
 
-// Withholding inspects the arrival timing of same-miner consecutive
-// main-chain blocks at the measurement vantages.
-func Withholding(d *Dataset) *WithholdingResult {
-	blockSeen := d.blockFirstSeen()
-	main := d.Chain.MainChain()
+// Withholding finalizes the §III-D forensic: arrival timing of
+// same-miner consecutive main-chain blocks, with first-observation
+// times served by the shared arrival index.
+func (c *Collector) Withholding() *WithholdingResult {
+	main := c.ds.Chain.MainChain()
 
 	type agg struct {
 		sequences int
@@ -73,8 +73,8 @@ func Withholding(d *Dataset) *WithholdingResult {
 		a.sequences++
 		burst := true
 		for k := i; k < j; k++ {
-			prev, okPrev := blockSeen[main[k-1].Hash]
-			cur, okCur := blockSeen[main[k].Hash]
+			prev, okPrev := c.blockFirstSeen(main[k-1].Hash)
+			cur, okCur := c.blockFirstSeen(main[k].Hash)
 			if !okPrev || !okCur {
 				burst = false
 				continue
@@ -104,7 +104,7 @@ func Withholding(d *Dataset) *WithholdingResult {
 	for _, id := range ids {
 		a := byPool[id]
 		row := WithholdingRow{
-			Pool:           d.PoolName(id),
+			Pool:           c.ds.PoolName(id),
 			Sequences:      a.sequences,
 			BurstSequences: a.bursts,
 		}
@@ -119,4 +119,9 @@ func Withholding(d *Dataset) *WithholdingResult {
 		}
 	}
 	return res
+}
+
+// Withholding computes the §III-D forensic from a materialized dataset.
+func Withholding(d *Dataset) *WithholdingResult {
+	return Collect(d, "").Withholding()
 }

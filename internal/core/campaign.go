@@ -26,6 +26,13 @@ type RunStats struct {
 	BlocksCreated   int
 	TxsCreated      int
 	Nodes           int
+
+	// BlockRecords and TxRecords count the measurement records that
+	// flowed through the record bus (all vantages, including auxiliary
+	// ones) — the unit the analysis pipeline's throughput is measured
+	// in.
+	BlockRecords int
+	TxRecords    int
 }
 
 // Results bundles the dataset and every per-figure analysis of one
@@ -65,13 +72,30 @@ type Campaign struct {
 	network  *simnet.Network
 	registry *chain.Registry
 	store    *txgen.Store
-	recorder *measure.MemoryRecorder
 	miner    *mining.Miner
 	gen      *txgen.Generator
 	churn    *churnDriver
 	vantages []*measure.Vantage
 	regular  []*p2p.Node
 	gateways [][]*p2p.Node
+
+	// Record pipeline: every vantage writes to the bus, which fans out
+	// to the streaming analysis collector, the optional in-memory
+	// retainer and the optional JSONL spill writer.
+	bus       *measure.Bus
+	collector *analysis.Collector
+	recorder  *measure.MemoryRecorder // nil in bounded-memory mode
+	spill     *logs.FileWriter        // nil unless Config.SpillPath set
+	dataset   *analysis.Dataset
+
+	simulated bool
+	simWall   time.Duration
+
+	// Snapshots taken while the simulation state is still alive, so
+	// Analyze and LogMeta keep working after ReleaseNetwork.
+	numNodes  int
+	events    uint64
+	delivered uint64
 }
 
 // NewCampaign validates the configuration and builds the full system:
@@ -94,7 +118,23 @@ func (c *Campaign) build() error {
 	blockIssuer := types.NewHashIssuer(1)
 	c.registry = chain.NewRegistry(cfg.GenesisNumber, blockIssuer)
 	c.store = txgen.NewStore()
-	c.recorder = measure.NewMemoryRecorder()
+
+	// Record pipeline: the dataset carries the campaign context the
+	// analysis finalizers need; its record slices stay nil unless
+	// RetainRecords fills them after the run.
+	c.dataset = &analysis.Dataset{
+		Vantages:   cfg.PrimaryVantages(),
+		Chain:      c.registry,
+		PoolNames:  cfg.PoolNames(),
+		InterBlock: cfg.Mining.InterBlockTime,
+		Duration:   cfg.Duration,
+	}
+	c.collector = analysis.NewCollector(c.dataset, cfg.RedundancyVantage)
+	c.bus = measure.NewBus(c.collector)
+	if cfg.RetainRecords {
+		c.recorder = measure.NewMemoryRecorder()
+		c.bus.Attach(c.recorder)
+	}
 
 	placeRNG := c.engine.RNG("placement")
 	speedRNG := c.engine.RNG("procspeed")
@@ -164,7 +204,7 @@ func (c *Campaign) build() error {
 			k := int(cfg.VantageGatewayFraction*float64(len(allGateways)) + 0.5)
 			p2p.ConnectToRandom(topoRNG, node, allGateways, k)
 		}
-		vantage := measure.NewVantage(vs.Name, cfg.Clock, clockRNG.Int63(), c.recorder)
+		vantage := measure.NewVantage(vs.Name, cfg.Clock, clockRNG.Int63(), c.bus)
 		node.Observer = vantage
 		c.vantages = append(c.vantages, vantage)
 	}
@@ -205,6 +245,21 @@ func (c *Campaign) build() error {
 				cfg.WithholdingPool, cfg.WithholdDepth)
 		}
 	}
+
+	c.numNodes = c.network.NumNodes()
+
+	// Raw-record spill: stream records to disk as they are produced.
+	// The metadata entry leads the file (the network is fully sized
+	// here); the chain dump is appended when the run finishes.
+	if cfg.SpillPath != "" {
+		spill, err := logs.CreateFile(cfg.SpillPath)
+		if err != nil {
+			return err
+		}
+		spill.Write(&logs.Entry{Kind: logs.KindMeta, Meta: c.LogMeta()})
+		c.spill = spill
+		c.bus.Attach(spill)
+	}
 	return nil
 }
 
@@ -217,14 +272,39 @@ func (c *Campaign) Registry() *chain.Registry { return c.registry }
 // Store exposes the transaction store.
 func (c *Campaign) Store() *txgen.Store { return c.store }
 
-// Recorder exposes the collected measurement records.
+// Recorder exposes the collected measurement records. Nil when the
+// campaign runs in bounded-memory mode (Config.RetainRecords false).
 func (c *Campaign) Recorder() *measure.MemoryRecorder { return c.recorder }
+
+// Collector exposes the streaming analysis pipeline.
+func (c *Campaign) Collector() *analysis.Collector { return c.collector }
+
+// AttachRecorder subscribes an additional consumer to the campaign's
+// record bus (e.g. a custom spill writer or a record hasher). Attach
+// before Run/Simulate: the bus offers no replay.
+func (c *Campaign) AttachRecorder(r measure.Recorder) { c.bus.Attach(r) }
 
 // Miner exposes the mining subsystem.
 func (c *Campaign) Miner() *mining.Miner { return c.miner }
 
-// Run executes the campaign and returns the analyzed results.
+// Run executes the campaign and returns the analyzed results. It is
+// Simulate followed by Analyze; callers that want to profile the two
+// phases separately (cmd/ethbench) invoke them directly.
 func (c *Campaign) Run() (*Results, error) {
+	if err := c.Simulate(); err != nil {
+		return nil, err
+	}
+	return c.Analyze()
+}
+
+// Simulate executes the simulation phase: the full virtual campaign,
+// with every measurement record streaming through the bus. It also
+// completes the spill file (chain dump) when one is configured.
+func (c *Campaign) Simulate() error {
+	if c.simulated {
+		return fmt.Errorf("core: campaign already simulated")
+	}
+	c.simulated = true
 	start := time.Now()
 	c.miner.Start(c.cfg.Duration)
 	if c.gen != nil {
@@ -234,49 +314,85 @@ func (c *Campaign) Run() (*Results, error) {
 		c.churn.Start(c.cfg.Duration)
 	}
 	if _, err := c.engine.Run(c.cfg.Duration); err != nil {
-		return nil, fmt.Errorf("core: simulation: %w", err)
+		if c.spill != nil {
+			// Best effort: flush what was recorded and release the
+			// descriptor; the simulation error takes precedence.
+			c.spill.Close()
+			c.spill = nil
+		}
+		return fmt.Errorf("core: simulation: %w", err)
 	}
+	c.events = c.engine.EventsRun()
+	c.delivered = c.network.Delivered()
+	if c.recorder != nil {
+		c.dataset.Blocks = c.recorder.Blocks
+		c.dataset.Txs = c.recorder.Txs
+	}
+	if c.spill != nil {
+		logs.WriteChain(c.spill.Writer, c.registry)
+		if err := c.spill.Close(); err != nil {
+			return fmt.Errorf("core: spill %s: %w", c.cfg.SpillPath, err)
+		}
+		c.spill = nil
+	}
+	c.simWall = time.Since(start)
+	return nil
+}
 
-	dataset := c.Dataset()
+// ReleaseNetwork drops the simulated network — nodes, links, per-peer
+// caches, the event engine's slab, the workload drivers — so the
+// analysis phase's working set is the record pipeline and the block
+// registry, not the dead simulation graph. Call it between Simulate
+// and Analyze on memory-constrained long campaigns; afterwards
+// Engine() and Miner() return nil while Analyze, WriteLogs, Dataset,
+// Registry and Store keep working. Run does not call it, so the
+// accessors stay valid on the default path.
+func (c *Campaign) ReleaseNetwork() {
+	if !c.simulated {
+		return // the simulation still needs all of it
+	}
+	c.engine = nil
+	c.network = nil
+	c.miner = nil
+	c.gen = nil
+	c.churn = nil
+	c.vantages = nil
+	c.regular = nil
+	c.gateways = nil
+}
+
+// Analyze finalizes every analyzer from the streamed state and the
+// block registry — the analysis phase. One pass over the records
+// already happened during Simulate; no analyzer re-reads them.
+func (c *Campaign) Analyze() (*Results, error) {
+	if !c.simulated {
+		return nil, fmt.Errorf("core: Analyze before Simulate")
+	}
 	res := &Results{
-		Dataset: dataset,
+		Dataset: c.dataset,
 		Stats: RunStats{
 			VirtualDuration: c.cfg.Duration,
-			WallDuration:    time.Since(start),
-			Events:          c.engine.EventsRun(),
-			Messages:        c.network.Delivered(),
+			WallDuration:    c.simWall,
+			Events:          c.events,
+			Messages:        c.delivered,
 			BlocksCreated:   c.registry.Len() - 1,
 			TxsCreated:      c.store.Len(),
-			Nodes:           c.network.NumNodes(),
+			Nodes:           c.numNodes,
+			BlockRecords:    c.collector.BlockRecords(),
+			TxRecords:       c.collector.TxRecords(),
 		},
 	}
-	if err := c.analyze(dataset, res); err != nil {
+	if err := c.analyze(res); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// Dataset assembles the analysis dataset from collected state. Only
-// primary (non-auxiliary) vantages participate in first-observation
-// and delay analyses.
-func (c *Campaign) Dataset() *analysis.Dataset {
-	names := make([]string, 0, len(c.cfg.Vantages))
-	for _, v := range c.cfg.Vantages {
-		if v.Auxiliary {
-			continue
-		}
-		names = append(names, v.Name)
-	}
-	return &analysis.Dataset{
-		Vantages:   names,
-		Blocks:     c.recorder.Blocks,
-		Txs:        c.recorder.Txs,
-		Chain:      c.registry,
-		PoolNames:  c.cfg.PoolNames(),
-		InterBlock: c.cfg.Mining.InterBlockTime,
-		Duration:   c.cfg.Duration,
-	}
-}
+// Dataset returns the campaign's analysis dataset: the campaign
+// context always, plus the raw record slices when RetainRecords is
+// set. Only primary (non-auxiliary) vantages participate in
+// first-observation and delay analyses.
+func (c *Campaign) Dataset() *analysis.Dataset { return c.dataset }
 
 // LogMeta builds the metadata entry for campaign log files, letting
 // cmd/ethanalyze reconstruct the analysis context from a log alone.
@@ -286,37 +402,41 @@ func (c *Campaign) LogMeta() *logs.Meta {
 		RedundancyVantage: c.cfg.RedundancyVantage,
 		InterBlockNs:      int64(c.cfg.Mining.InterBlockTime),
 		DurationNs:        int64(c.cfg.Duration),
-		NetworkSize:       c.network.NumNodes(),
+		NetworkSize:       c.numNodes,
 		Seed:              c.cfg.Seed,
 	}
-	for _, v := range c.cfg.Vantages {
-		if !v.Auxiliary {
-			meta.Vantages = append(meta.Vantages, v.Name)
-		}
-	}
+	meta.Vantages = c.cfg.PrimaryVantages()
 	return meta
 }
 
 // WriteLogs persists the campaign's records, chain dump and metadata to
-// a JSONL file compatible with cmd/ethanalyze.
+// a JSONL file compatible with cmd/ethanalyze. It needs the retained
+// records; bounded-memory campaigns stream to Config.SpillPath instead.
 func (c *Campaign) WriteLogs(path string) error {
+	if c.recorder == nil {
+		return fmt.Errorf("core: raw records were not retained (RetainRecords=false); set Config.SpillPath to stream them to disk during the run")
+	}
 	return logs.WriteCampaignFile(path, c.LogMeta(), c.recorder.Blocks, c.recorder.Txs, c.registry)
 }
 
-func (c *Campaign) analyze(dataset *analysis.Dataset, res *Results) error {
+// analyze assembles every per-figure result: record-driven analyses
+// finalize from the collector's shared accumulators, chain-driven ones
+// read the registry through the dataset.
+func (c *Campaign) analyze(res *Results) error {
+	dataset := c.dataset
 	var err error
-	res.Propagation, err = analysis.BlockPropagation(dataset)
+	res.Propagation, err = c.collector.Propagation()
 	if err != nil {
 		return fmt.Errorf("core: propagation analysis: %w", err)
 	}
 	if c.cfg.RedundancyVantage != "" {
-		res.Redundancy, err = analysis.Redundancy(dataset, c.cfg.RedundancyVantage, c.network.NumNodes())
+		res.Redundancy, err = c.collector.Redundancy(c.numNodes)
 		if err != nil {
 			return fmt.Errorf("core: redundancy analysis: %w", err)
 		}
 	}
-	res.FirstObs = analysis.FirstObservation(dataset)
-	res.PoolGeo = analysis.PoolGeography(dataset, 15)
+	res.FirstObs = c.collector.FirstObservation()
+	res.PoolGeo = c.collector.PoolGeography(15)
 	res.Empty = analysis.EmptyBlocks(dataset, 15)
 	res.Forks = analysis.Forks(dataset)
 	res.OneMiner = analysis.OneMinerForks(dataset, res.Forks)
@@ -325,13 +445,13 @@ func (c *Campaign) analyze(dataset *analysis.Dataset, res *Results) error {
 	res.Finality = analysis.Finality(dataset, 14)
 	res.Throughput = analysis.Throughput(dataset)
 	res.InterBlock = analysis.InterBlock(dataset)
-	res.Withholding = analysis.Withholding(dataset)
-	res.GeoDelay = analysis.GeoDelay(dataset)
+	res.Withholding = c.collector.Withholding()
+	res.GeoDelay = c.collector.GeoDelay()
 	if c.cfg.EnableTxWorkload {
-		res.Commit = analysis.CommitTimes(dataset)
-		res.Ordering = analysis.TransactionOrdering(dataset)
-		res.TxProp = analysis.TxPropagation(dataset)
-		res.FeeMarket = analysis.FeeMarket(dataset, func(h types.Hash) (uint64, bool) {
+		res.Commit = c.collector.Commit()
+		res.Ordering = c.collector.Ordering()
+		res.TxProp = c.collector.TxPropagation()
+		res.FeeMarket = c.collector.FeeMarket(func(h types.Hash) (uint64, bool) {
 			tx := c.store.Get(h)
 			if tx == nil {
 				return 0, false

@@ -11,6 +11,7 @@ import (
 	"math"
 	"time"
 
+	"ethmeasure/internal/analysis"
 	"ethmeasure/internal/geo"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
@@ -139,6 +140,24 @@ type Config struct {
 
 	// Clock is the NTP offset model for vantage timestamps.
 	Clock measure.ClockModel
+
+	// RetainRecords keeps every raw measurement record in memory (the
+	// MemoryRecorder bus consumer), preserving Results.Dataset.Blocks/
+	// Txs and Campaign.WriteLogs. The presets enable it. When false the
+	// campaign runs in bounded-memory mode: records stream through the
+	// analysis collector (and the optional SpillPath writer) only, so
+	// record memory is bounded by distinct blocks + transactions rather
+	// than by total receptions — the mode for long-duration and
+	// high-redundancy campaigns. Analysis results are bit-identical in
+	// both modes.
+	RetainRecords bool
+
+	// SpillPath, when non-empty, streams every raw record to a JSONL
+	// campaign log at this path as it is produced (metadata first,
+	// chain dump appended at the end of the run) — the bounded-memory
+	// replacement for WriteLogs. The file is compatible with
+	// cmd/ethanalyze.
+	SpillPath string
 }
 
 // DefaultConfig returns a laptop-scale campaign that preserves the
@@ -178,6 +197,7 @@ func DefaultConfig() Config {
 		TxGen:             txgen.DefaultConfig(),
 		EnableTxWorkload:  true,
 		Clock:             measure.DefaultClockModel(),
+		RetainRecords:     true,
 	}
 	ApplyCapacity(&cfg)
 	return cfg
@@ -269,7 +289,11 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: at least one vantage is required")
 	}
 	seen := make(map[string]bool, len(c.Vantages))
+	primary := 0
 	for _, v := range c.Vantages {
+		if !v.Auxiliary {
+			primary++
+		}
 		if v.Name == "" {
 			return fmt.Errorf("core: vantage with empty name")
 		}
@@ -284,6 +308,11 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: vantage %s has invalid region", v.Name)
 		}
 	}
+	if primary > analysis.MaxVantages {
+		// The streaming arrival index keeps one bit per primary vantage
+		// in each block's state word.
+		return fmt.Errorf("core: at most %d primary vantages supported, got %d", analysis.MaxVantages, primary)
+	}
 	if c.RedundancyVantage != "" && !seen[c.RedundancyVantage] {
 		return fmt.Errorf("core: redundancy vantage %q not among vantages", c.RedundancyVantage)
 	}
@@ -296,6 +325,18 @@ func (c *Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// PrimaryVantages returns the non-auxiliary vantage names in
+// presentation order — the roster the arrival analyses cover.
+func (c *Config) PrimaryVantages() []string {
+	names := make([]string, 0, len(c.Vantages))
+	for _, v := range c.Vantages {
+		if !v.Auxiliary {
+			names = append(names, v.Name)
+		}
+	}
+	return names
 }
 
 // PoolNames extracts the pool names in spec order (PoolID i+1 maps to

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/logs"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/types"
+)
+
+// recordHasher is a bus consumer that folds every record into a hash
+// as it streams by — the bounded-memory equivalent of fingerprinting
+// retained record slices. The line format matches fingerprint() in
+// determinism_test.go.
+type recordHasher struct {
+	h hash.Hash
+}
+
+func newRecordHasher() *recordHasher { return &recordHasher{h: sha256.New()} }
+
+func (r *recordHasher) RecordBlock(rec measure.BlockRecord) {
+	fmt.Fprintf(r.h, "B|%s|%d|%s|%d|%d|%s|%d|%s|%d|%d\n",
+		rec.Vantage, rec.At, rec.Hash, rec.Number, rec.Miner, rec.Parent, rec.From, rec.Kind, rec.NTxs, rec.Size)
+}
+
+func (r *recordHasher) RecordTx(rec measure.TxRecord) {
+	fmt.Fprintf(r.h, "T|%s|%d|%s|%d|%d|%d\n",
+		rec.Vantage, rec.At, rec.Hash, rec.Sender, rec.Nonce, rec.From)
+}
+
+func (r *recordHasher) Sum() string { return hex.EncodeToString(r.h.Sum(nil)) }
+
+// chainFingerprint hashes the full block registry.
+func chainFingerprint(c *Campaign) string {
+	h := sha256.New()
+	c.registry.Blocks(func(b *types.Block) bool {
+		fmt.Fprintf(h, "C|%s|%s|%d|%d|%d|%d|%d\n",
+			b.Hash, b.ParentHash, b.Number, b.Miner, b.MinedAt, b.TotalDiff, len(b.TxHashes))
+		return true
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// equivalenceVariants are the five seed configurations the streaming
+// pipeline must reproduce bit for bit against the batch path.
+func equivalenceVariants() []struct {
+	name string
+	cfg  Config
+} {
+	quick := tinyConfig()
+
+	churn := tinyConfig()
+	churn.Churn = DefaultChurnConfig()
+	churn.Churn.Interval = 30 * time.Second
+	churn.Churn.DowntimeMean = time.Minute
+
+	discovery := tinyConfig()
+	discovery.UseDiscovery = true
+
+	announceOnly := tinyConfig()
+	announceOnly.P2P.SqrtPush = false
+
+	noTx := tinyConfig()
+	noTx.EnableTxWorkload = false
+
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"quick", quick},
+		{"churn", churn},
+		{"discovery", discovery},
+		{"announce-only", announceOnly},
+		{"no-tx", noTx},
+	}
+}
+
+// analysisJSON serializes every analysis field of a Results bit-
+// exactly (float64s marshal to their shortest round-trip decimal, so
+// equal JSON means equal bits; stats.Sample marshals its full
+// observation vector). Dataset and wall-clock stats are excluded: the
+// bounded run intentionally retains no records.
+func analysisJSON(t *testing.T, res *Results) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	v := reflect.ValueOf(*res)
+	tp := reflect.TypeOf(*res)
+	for i := 0; i < tp.NumField(); i++ {
+		name := tp.Field(i).Name
+		if name == "Dataset" || name == "Stats" {
+			continue
+		}
+		data, err := json.Marshal(v.Field(i).Interface())
+		if err != nil {
+			t.Fatalf("marshal %s: %v", name, err)
+		}
+		out[name] = string(data)
+	}
+	return out
+}
+
+// TestStreamingEquivalence is the golden equivalence suite: for each
+// seed config variant, a bounded-memory (streaming) campaign must
+// produce bit-identical analysis results, KeyMetrics and record/chain
+// fingerprints to the record-retaining (batch) campaign.
+func TestStreamingEquivalence(t *testing.T) {
+	for _, variant := range equivalenceVariants() {
+		variant := variant
+		t.Run(variant.name, func(t *testing.T) {
+			run := func(retain bool) (*Results, string, string, *Campaign) {
+				cfg := variant.cfg
+				cfg.RetainRecords = retain
+				campaign, err := NewCampaign(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hasher := newRecordHasher()
+				campaign.AttachRecorder(hasher)
+				res, err := campaign.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, hasher.Sum(), chainFingerprint(campaign), campaign
+			}
+
+			resBatch, recBatch, chainBatch, _ := run(true)
+			resStream, recStream, chainStream, streamCampaign := run(false)
+
+			// The raw record streams and the chain are the same runs.
+			if recBatch != recStream {
+				t.Fatalf("record streams diverged:\n%s\n%s", recBatch, recStream)
+			}
+			if chainBatch != chainStream {
+				t.Fatalf("chains diverged")
+			}
+
+			// Every analysis result, bit for bit.
+			jsonBatch := analysisJSON(t, resBatch)
+			jsonStream := analysisJSON(t, resStream)
+			for name, batch := range jsonBatch {
+				if stream := jsonStream[name]; stream != batch {
+					t.Errorf("%s diverged:\nbatch:  %.200s\nstream: %.200s", name, batch, stream)
+				}
+			}
+
+			// KeyMetrics, exact float equality.
+			if !reflect.DeepEqual(resBatch.KeyMetrics(), resStream.KeyMetrics()) {
+				t.Errorf("KeyMetrics diverged:\n%v\n%v", resBatch.KeyMetrics(), resStream.KeyMetrics())
+			}
+
+			// Run bookkeeping (minus wall time) must agree too.
+			sa, sb := resBatch.Stats, resStream.Stats
+			sa.WallDuration, sb.WallDuration = 0, 0
+			if sa != sb {
+				t.Errorf("stats diverged: %+v vs %+v", sa, sb)
+			}
+
+			// The memory contract of bounded mode.
+			if resStream.Dataset.Blocks != nil || resStream.Dataset.Txs != nil {
+				t.Error("bounded-memory run retained records")
+			}
+			if streamCampaign.Recorder() != nil {
+				t.Error("bounded-memory run kept a MemoryRecorder")
+			}
+			if err := streamCampaign.WriteLogs(filepath.Join(t.TempDir(), "x.jsonl")); err == nil {
+				t.Error("WriteLogs must fail without retained records")
+			}
+			if resBatch.Dataset.Blocks == nil {
+				t.Error("batch run lost its records")
+			}
+		})
+	}
+}
+
+// TestReleaseNetworkKeepsAnalysis verifies the phase split: dropping
+// the simulation graph between Simulate and Analyze changes nothing
+// about the results, and the post-release accessors behave as
+// documented.
+func TestReleaseNetworkKeepsAnalysis(t *testing.T) {
+	cfg := tinyConfig()
+
+	full, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFull, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	released, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released.ReleaseNetwork() // before Simulate: must be a no-op
+	if released.Engine() == nil {
+		t.Fatal("pre-simulation ReleaseNetwork dropped the engine")
+	}
+	if err := released.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	released.ReleaseNetwork()
+	if released.Engine() != nil || released.Miner() != nil {
+		t.Error("network not released")
+	}
+	resReleased, err := released.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jsonFull := analysisJSON(t, resFull)
+	jsonReleased := analysisJSON(t, resReleased)
+	for name, want := range jsonFull {
+		if got := jsonReleased[name]; got != want {
+			t.Errorf("%s diverged after ReleaseNetwork", name)
+		}
+	}
+	sa, sb := resFull.Stats, resReleased.Stats
+	sa.WallDuration, sb.WallDuration = 0, 0
+	if sa != sb {
+		t.Errorf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	// WriteLogs still works from the retained records + snapshots.
+	if err := released.WriteLogs(filepath.Join(t.TempDir(), "released.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillMatchesWriteLogs runs the quick variant twice — batch with
+// WriteLogs, bounded with SpillPath — and requires byte-compatible
+// analysis results when each file is re-loaded.
+func TestSpillMatchesWriteLogs(t *testing.T) {
+	dir := t.TempDir()
+
+	cfg := tinyConfig()
+	batch, err := NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batch.Run(); err != nil {
+		t.Fatal(err)
+	}
+	batchPath := filepath.Join(dir, "batch.jsonl")
+	if err := batch.WriteLogs(batchPath); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := tinyConfig()
+	cfg2.RetainRecords = false
+	cfg2.SpillPath = filepath.Join(dir, "spill.jsonl")
+	bounded, err := NewCampaign(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bounded.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(path string) *logs.Campaign {
+		c, err := logs.ReadCampaignFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return c
+	}
+	a, b := load(batchPath), load(cfg2.SpillPath)
+	if len(a.Blocks) != len(b.Blocks) || len(a.Txs) != len(b.Txs) {
+		t.Fatalf("record counts differ: %d/%d vs %d/%d", len(a.Blocks), len(a.Txs), len(b.Blocks), len(b.Txs))
+	}
+	for i := range a.Blocks {
+		if !reflect.DeepEqual(a.Blocks[i], b.Blocks[i]) {
+			t.Fatalf("block record %d differs: %+v vs %+v", i, a.Blocks[i], b.Blocks[i])
+		}
+	}
+	for i := range a.Txs {
+		if a.Txs[i] != b.Txs[i] {
+			t.Fatalf("tx record %d differs", i)
+		}
+	}
+	if !reflect.DeepEqual(a.Meta, b.Meta) {
+		t.Fatalf("meta differs: %+v vs %+v", a.Meta, b.Meta)
+	}
+	if a.Chain.Len() != b.Chain.Len() {
+		t.Fatalf("chain dumps differ: %d vs %d blocks", a.Chain.Len(), b.Chain.Len())
+	}
+}

@@ -1,0 +1,164 @@
+// Package hashset provides an open-addressed set of uint64 keys with
+// linear probing, Fibonacci hashing and a bitset filter in front of
+// the table (a clear bit proves absence, so hot negative lookups skip
+// the probe entirely). The table starts small and doubles lazily, so
+// an idle set costs a few hundred bytes regardless of its expected
+// working size.
+//
+// The technique originated as the per-peer known-hash LRU cache in
+// internal/p2p (where the eager Go maps it replaced dominated the heap
+// at 5,000 nodes); it is extracted here so the measurement layer's
+// first-observation filters can share it.
+package hashset
+
+import "math/bits"
+
+// U64 is an unbounded open-addressed set of uint64 keys. Zero is a
+// valid member, tracked out of band since 0 marks an empty table slot.
+// The zero value is not ready to use; call New.
+type U64 struct {
+	table   []uint64 // open-addressed storage, 0 = empty slot
+	mask    uint64
+	shift   uint     // 64 - log2(len(table)), for Fibonacci hashing
+	filter  []uint64 // bitset over home slots; clear bit => absent
+	n       int      // non-zero keys stored
+	hasZero bool
+}
+
+// New returns a set sized for roughly capacityHint keys. The hint only
+// bounds the initial table; the set grows as needed.
+func New(capacityHint int) *U64 {
+	s := &U64{}
+	size := 8
+	for size < 2*capacityHint && size < 64 {
+		size <<= 1
+	}
+	s.grow(size)
+	return s
+}
+
+// grow rebuilds the table (and filter) at the given power-of-two size.
+func (s *U64) grow(size int) {
+	old := s.table
+	s.table = make([]uint64, size)
+	s.mask = uint64(size - 1)
+	s.shift = 64 - uint(bits.TrailingZeros(uint(size)))
+	s.filter = make([]uint64, (size+63)/64)
+	for _, k := range old {
+		if k != 0 {
+			s.insert(k)
+		}
+	}
+}
+
+// home is the preferred slot of a key (Fibonacci hashing: issued
+// hashes are sequential counters, so low bits alone would cluster).
+func (s *U64) home(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> s.shift
+}
+
+// insert places k in the table and marks the filter. k must be
+// non-zero and not present.
+func (s *U64) insert(k uint64) {
+	h := s.home(k)
+	s.filter[h>>6] |= 1 << (h & 63)
+	for i := h; ; i = (i + 1) & s.mask {
+		if s.table[i] == 0 {
+			s.table[i] = k
+			return
+		}
+	}
+}
+
+// lookup reports whether k (non-zero) is present.
+func (s *U64) lookup(k uint64) bool {
+	h := s.home(k)
+	if s.filter[h>>6]&(1<<(h&63)) == 0 {
+		return false
+	}
+	for i := h; ; i = (i + 1) & s.mask {
+		switch s.table[i] {
+		case k:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+// Add inserts k, reporting whether it was newly added. The table is
+// kept at most half full so probe chains stay short.
+func (s *U64) Add(k uint64) bool {
+	if k == 0 {
+		if s.hasZero {
+			return false
+		}
+		s.hasZero = true
+		return true
+	}
+	if s.lookup(k) {
+		return false
+	}
+	if 2*(s.n+1) > len(s.table) {
+		s.grow(2 * len(s.table))
+	}
+	s.insert(k)
+	s.n++
+	return true
+}
+
+// Has reports whether k is in the set.
+func (s *U64) Has(k uint64) bool {
+	if k == 0 {
+		return s.hasZero
+	}
+	return s.lookup(k)
+}
+
+// Remove deletes k if present, reporting whether it was a member. It
+// uses backward-shift compaction so probe chains stay dense without
+// tombstones. Filter bits are left set; stale bits only cost a probe,
+// never correctness.
+func (s *U64) Remove(k uint64) bool {
+	if k == 0 {
+		if !s.hasZero {
+			return false
+		}
+		s.hasZero = false
+		return true
+	}
+	if !s.lookup(k) {
+		return false
+	}
+	s.n--
+	i := s.home(k)
+	for s.table[i] != k {
+		i = (i + 1) & s.mask
+	}
+	for {
+		s.table[i] = 0
+		j := i
+		for {
+			j = (j + 1) & s.mask
+			cur := s.table[j]
+			if cur == 0 {
+				return true
+			}
+			// cur may shift back to i only if its home slot lies at or
+			// before i along the probe path ending at j.
+			if (j-s.home(cur))&s.mask >= (j-i)&s.mask {
+				s.table[i] = cur
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of members.
+func (s *U64) Len() int {
+	if s.hasZero {
+		return s.n + 1
+	}
+	return s.n
+}

@@ -1,0 +1,125 @@
+package hashset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(4)
+	for k := uint64(1); k <= 100; k++ {
+		if !s.Add(k) {
+			t.Fatalf("Add(%d) not new", k)
+		}
+		if s.Add(k) {
+			t.Fatalf("Add(%d) added twice", k)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if !s.Has(k) {
+			t.Fatalf("Has(%d) = false", k)
+		}
+	}
+	if s.Has(101) {
+		t.Error("phantom member 101")
+	}
+	for k := uint64(1); k <= 50; k++ {
+		if !s.Remove(k) {
+			t.Fatalf("Remove(%d) = false", k)
+		}
+		if s.Remove(k) {
+			t.Fatalf("Remove(%d) removed twice", k)
+		}
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d after removals, want 50", s.Len())
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if s.Has(k) != (k > 50) {
+			t.Fatalf("Has(%d) = %v after removals", k, s.Has(k))
+		}
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	s := New(2)
+	if s.Has(0) {
+		t.Error("empty set claims zero")
+	}
+	if !s.Add(0) || s.Add(0) {
+		t.Error("zero Add semantics broken")
+	}
+	if !s.Has(0) || s.Len() != 1 {
+		t.Error("zero not stored")
+	}
+	if !s.Remove(0) || s.Remove(0) || s.Has(0) {
+		t.Error("zero Remove semantics broken")
+	}
+}
+
+// TestAgainstMap cross-checks against Go's map under a random
+// add/remove workload, including sequential counter-like keys (the
+// hash-issuer pattern that motivated Fibonacci hashing).
+func TestAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(8)
+	ref := make(map[uint64]bool)
+	for i := 0; i < 20000; i++ {
+		var k uint64
+		if rng.Intn(2) == 0 {
+			k = uint64(rng.Intn(4000)) // sequential-ish
+		} else {
+			k = rng.Uint64()
+		}
+		switch rng.Intn(3) {
+		case 0, 1:
+			want := !ref[k]
+			if got := s.Add(k); got != want {
+				t.Fatalf("step %d: Add(%d) = %v, want %v", i, k, got, want)
+			}
+			ref[k] = true
+		case 2:
+			want := ref[k]
+			if got := s.Remove(k); got != want {
+				t.Fatalf("step %d: Remove(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d, map has %d", s.Len(), len(ref))
+	}
+	for k := range ref {
+		if !s.Has(k) {
+			t.Fatalf("lost member %d", k)
+		}
+	}
+}
+
+func TestLazyGrowth(t *testing.T) {
+	// A huge capacity hint must not preallocate a huge table.
+	s := New(1 << 20)
+	if len(s.table) > 64 {
+		t.Fatalf("initial table %d slots; growth must be lazy", len(s.table))
+	}
+	for k := uint64(1); k <= 10000; k++ {
+		s.Add(k)
+	}
+	// Invariant: at most half full.
+	if 2*s.n > len(s.table) {
+		t.Fatalf("table over half full: %d/%d", s.n, len(s.table))
+	}
+}
+
+func BenchmarkAddHas(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1 << 16)
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)%65536 + 1
+		s.Add(k)
+		s.Has(k + 1)
+	}
+}

@@ -130,6 +130,37 @@ func WriteChain(w *Writer, reg *chain.Registry) {
 	})
 }
 
+// FileWriter couples a Writer with its backing file, for streaming a
+// campaign's records to disk as they are produced (bounded-memory
+// spill) instead of materializing them first.
+type FileWriter struct {
+	*Writer
+	f *os.File
+}
+
+// CreateFile opens path (creating parent directories) for streaming
+// JSONL log output.
+func CreateFile(path string) (*FileWriter, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("logs: mkdir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("logs: create: %w", err)
+	}
+	return &FileWriter{Writer: NewWriter(f), f: f}, nil
+}
+
+// Close flushes buffered output and closes the file, returning the
+// first error seen.
+func (fw *FileWriter) Close() error {
+	err := fw.Flush()
+	if cerr := fw.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("logs: close: %w", cerr)
+	}
+	return err
+}
+
 // Reader streams entries from an io.Reader.
 type Reader struct {
 	sc   *bufio.Scanner
@@ -171,6 +202,41 @@ type Campaign struct {
 	Chain  *chain.Registry
 }
 
+// ChainBuilder incrementally reconstructs a block registry from
+// streamed chain entries. Dumps are written in creation order, so the
+// first entry is genesis and parents always precede children; feed
+// entries in file order.
+type ChainBuilder struct {
+	reg *chain.Registry
+}
+
+// Add incorporates one chain entry.
+func (b *ChainBuilder) Add(cb *ChainBlock) error {
+	if b.reg == nil {
+		b.reg = chain.NewRegistryWithGenesis(cb.Number, cb.Hash)
+		return nil
+	}
+	blk := &types.Block{
+		Hash:       cb.Hash,
+		Number:     cb.Number,
+		ParentHash: cb.Parent,
+		Miner:      cb.Miner,
+		TxHashes:   cb.TxHashes,
+		Uncles:     cb.Uncles,
+		Difficulty: 1,
+		MinedAt:    time.Duration(cb.MinedAtNs),
+		Size:       cb.Size,
+	}
+	if err := b.reg.Add(blk); err != nil {
+		return fmt.Errorf("logs: rebuild chain: %w", err)
+	}
+	return nil
+}
+
+// Registry returns the reconstructed registry, or nil when no chain
+// entries were fed.
+func (b *ChainBuilder) Registry() *chain.Registry { return b.reg }
+
 // Load reads a whole log stream into memory, reconstructing a registry
 // from chain entries when present. The chain dump is in creation
 // order, so parents always precede children.
@@ -186,7 +252,7 @@ func Load(r io.Reader) (blocks []measure.BlockRecord, txs []measure.TxRecord, re
 func LoadCampaign(r io.Reader) (*Campaign, error) {
 	reader := NewReader(r)
 	c := &Campaign{}
-	var chainBlocks []*ChainBlock
+	var builder ChainBuilder
 	for {
 		e, err := reader.Next()
 		if err == io.EOF {
@@ -208,45 +274,16 @@ func LoadCampaign(r io.Reader) (*Campaign, error) {
 			}
 		case KindChain:
 			if e.Chain != nil {
-				chainBlocks = append(chainBlocks, e.Chain)
+				if err := builder.Add(e.Chain); err != nil {
+					return nil, err
+				}
 			}
 		default:
 			return nil, fmt.Errorf("logs: unknown entry kind %q", e.Kind)
 		}
 	}
-	if len(chainBlocks) > 0 {
-		reg, err := rebuildRegistry(chainBlocks)
-		if err != nil {
-			return nil, err
-		}
-		c.Chain = reg
-	}
+	c.Chain = builder.Registry()
 	return c, nil
-}
-
-// rebuildRegistry reconstructs a Registry from dumped chain blocks.
-// The dump is in creation order, so the first entry is genesis and
-// parents always precede children.
-func rebuildRegistry(dump []*ChainBlock) (*chain.Registry, error) {
-	genesis := dump[0]
-	reg := chain.NewRegistryWithGenesis(genesis.Number, genesis.Hash)
-	for _, cb := range dump[1:] {
-		b := &types.Block{
-			Hash:       cb.Hash,
-			Number:     cb.Number,
-			ParentHash: cb.Parent,
-			Miner:      cb.Miner,
-			TxHashes:   cb.TxHashes,
-			Uncles:     cb.Uncles,
-			Difficulty: 1,
-			MinedAt:    time.Duration(cb.MinedAtNs),
-			Size:       cb.Size,
-		}
-		if err := reg.Add(b); err != nil {
-			return nil, fmt.Errorf("logs: rebuild chain: %w", err)
-		}
-	}
-	return reg, nil
 }
 
 // WriteFile writes records and a chain dump to path (creating parent

@@ -233,3 +233,48 @@ func TestCampaignFileWithMetadata(t *testing.T) {
 		t.Error("records or chain lost alongside metadata")
 	}
 }
+
+func TestChainBuilderIncremental(t *testing.T) {
+	var b ChainBuilder
+	if b.Registry() != nil {
+		t.Fatal("empty builder must return nil registry")
+	}
+	if err := b.Add(&ChainBlock{Hash: 1, Number: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(&ChainBlock{Hash: 2, Number: 101, Parent: 1, Miner: 3, MinedAtNs: int64(5 * time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	reg := b.Registry()
+	if reg == nil || reg.Len() != 2 {
+		t.Fatalf("registry len = %v", reg)
+	}
+	blk, ok := reg.Get(2)
+	if !ok || blk.Miner != 3 || blk.MinedAt != 5*time.Second || blk.ParentHash != 1 {
+		t.Fatalf("rebuilt block = %+v", blk)
+	}
+	// An orphan entry (unknown parent) must surface as an error.
+	if err := b.Add(&ChainBlock{Hash: 9, Number: 200, Parent: 42}); err == nil {
+		t.Fatal("orphan chain entry accepted")
+	}
+}
+
+func TestFileWriterStreams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "stream.jsonl")
+	fw, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.RecordBlock(measure.BlockRecord{Vantage: "NA", Hash: 7, Kind: "block"})
+	fw.RecordTx(measure.TxRecord{Vantage: "EA", Hash: 8, Sender: 1})
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, txs, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0].Hash != 7 || len(txs) != 1 || txs[0].Hash != 8 {
+		t.Fatalf("roundtrip = %+v / %+v", blocks, txs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"time"
 
+	"ethmeasure/internal/hashset"
 	"ethmeasure/internal/p2p"
 	"ethmeasure/internal/sim"
 	"ethmeasure/internal/types"
@@ -43,6 +44,52 @@ type TxRecord struct {
 type Recorder interface {
 	RecordBlock(BlockRecord)
 	RecordTx(TxRecord)
+}
+
+// Bus is a Recorder that fans every record out to its registered
+// consumers, in attach order. It is the campaign's record pipeline
+// spine: the vantages write to one bus, and the streaming analysis
+// collector, the optional in-memory retainer (MemoryRecorder) and the
+// optional JSONL spill writer all subscribe to it. A bus with no
+// consumers drops records.
+type Bus struct {
+	consumers []Recorder
+}
+
+var _ Recorder = (*Bus)(nil)
+
+// NewBus creates a bus over the given consumers.
+func NewBus(consumers ...Recorder) *Bus {
+	b := &Bus{}
+	for _, c := range consumers {
+		b.Attach(c)
+	}
+	return b
+}
+
+// Attach registers one more consumer. Attach before records flow: the
+// bus offers no replay.
+func (b *Bus) Attach(c Recorder) {
+	if c != nil {
+		b.consumers = append(b.consumers, c)
+	}
+}
+
+// Consumers returns the number of attached consumers.
+func (b *Bus) Consumers() int { return len(b.consumers) }
+
+// RecordBlock fans a block record out to every consumer.
+func (b *Bus) RecordBlock(r BlockRecord) {
+	for _, c := range b.consumers {
+		c.RecordBlock(r)
+	}
+}
+
+// RecordTx fans a transaction record out to every consumer.
+func (b *Bus) RecordTx(r TxRecord) {
+	for _, c := range b.consumers {
+		c.RecordTx(r)
+	}
 }
 
 // MemoryRecorder accumulates records in memory.
@@ -113,7 +160,7 @@ type Vantage struct {
 	clock   ClockModel
 	rng     *rand.Rand
 	offsets map[int64]time.Duration // window index -> sampled offset
-	seenTxs map[types.Hash]bool     // first-observation filter for txs
+	seenTxs *hashset.U64            // first-observation filter for txs
 }
 
 var _ p2p.Observer = (*Vantage)(nil)
@@ -128,7 +175,7 @@ func NewVantage(name string, clock ClockModel, seed int64, recorder Recorder) *V
 		clock:    clock,
 		rng:      rand.New(rand.NewSource(seed)),
 		offsets:  make(map[int64]time.Duration, 16),
-		seenTxs:  make(map[types.Hash]bool, 4096),
+		seenTxs:  hashset.New(4096),
 	}
 }
 
@@ -180,10 +227,9 @@ func (v *Vantage) ObserveAnnounce(at sim.Time, h types.Hash, number uint64, from
 
 // ObserveTx logs the first observation of each transaction.
 func (v *Vantage) ObserveTx(at sim.Time, tx *types.Transaction, from types.NodeID) {
-	if v.seenTxs[tx.Hash] {
+	if !v.seenTxs.Add(uint64(tx.Hash)) {
 		return
 	}
-	v.seenTxs[tx.Hash] = true
 	v.recorder.RecordTx(TxRecord{
 		Vantage: v.Name,
 		At:      v.local(at),

@@ -1,8 +1,7 @@
 package p2p
 
 import (
-	"math/bits"
-
+	"ethmeasure/internal/hashset"
 	"ethmeasure/internal/types"
 )
 
@@ -10,152 +9,46 @@ import (
 // per-peer "known blocks/transactions" LRU caches Geth keeps so that a
 // hash is not re-sent to a peer that already has it.
 //
-// Implementation: an open-addressed table of raw uint64 hashes with
-// linear probing and backward-shift deletion, an insertion ring for
-// FIFO eviction, and a bitset filter in front of the table (a clear
-// bit proves absence, letting the hot negative Has calls in the relay
-// fan-out skip the probe). The table starts small and doubles lazily:
-// a capacity-131072 cache costs a few hundred bytes until a node
-// actually sees traffic — at 5,000 nodes the eager maps this replaces
-// dominated the whole campaign's heap.
+// Storage is the shared open-addressed uint64 table in
+// internal/hashset (Fibonacci hashing, bitset filter for hot negative
+// Has calls, lazy growth: a capacity-131072 cache costs a few hundred
+// bytes until a node actually sees traffic — at 5,000 nodes the eager
+// maps this replaces dominated the whole campaign's heap). This type
+// adds the insertion ring that turns the unbounded set into a
+// fixed-capacity FIFO cache.
 type hashSet struct {
 	capacity int
 	ring     []types.Hash // members in insertion order
 	pos      int          // next eviction slot once the ring is full
-	table    []uint64     // open-addressed storage, 0 = empty slot
-	mask     uint64
-	shift    uint     // 64 - log2(len(table)), for Fibonacci hashing
-	filter   []uint64 // bitset over home slots; clear bit => absent
-	hasZero  bool     // membership of the reserved zero hash
+	set      *hashset.U64
 }
 
 func newHashSet(capacity int) *hashSet {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	s := &hashSet{capacity: capacity}
-	size := 8
-	for size < 2*capacity && size < 64 {
-		size <<= 1
-	}
-	s.grow(size)
-	return s
-}
-
-// grow rebuilds the table (and filter) at the given power-of-two size.
-func (s *hashSet) grow(size int) {
-	old := s.table
-	s.table = make([]uint64, size)
-	s.mask = uint64(size - 1)
-	s.shift = 64 - uint(bits.TrailingZeros(uint(size)))
-	s.filter = make([]uint64, (size+63)/64)
-	for _, k := range old {
-		if k != 0 {
-			s.insert(k)
-		}
-	}
-}
-
-// home is the preferred slot of a key (Fibonacci hashing: issued
-// hashes are sequential counters, so low bits alone would cluster).
-func (s *hashSet) home(k uint64) uint64 {
-	return (k * 0x9E3779B97F4A7C15) >> s.shift
-}
-
-// insert places k in the table and marks the filter. k must be
-// non-zero and not present.
-func (s *hashSet) insert(k uint64) {
-	h := s.home(k)
-	s.filter[h>>6] |= 1 << (h & 63)
-	for i := h; ; i = (i + 1) & s.mask {
-		if s.table[i] == 0 {
-			s.table[i] = k
-			return
-		}
-	}
-}
-
-// lookup reports whether k (non-zero) is present.
-func (s *hashSet) lookup(k uint64) bool {
-	h := s.home(k)
-	if s.filter[h>>6]&(1<<(h&63)) == 0 {
-		return false
-	}
-	for i := h; ; i = (i + 1) & s.mask {
-		switch s.table[i] {
-		case k:
-			return true
-		case 0:
-			return false
-		}
-	}
-}
-
-// remove deletes k (non-zero, present) using backward-shift compaction
-// so probe chains stay dense without tombstones. Filter bits are left
-// set; stale bits only cost a probe, never correctness.
-func (s *hashSet) remove(k uint64) {
-	i := s.home(k)
-	for s.table[i] != k {
-		i = (i + 1) & s.mask
-	}
-	for {
-		s.table[i] = 0
-		j := i
-		for {
-			j = (j + 1) & s.mask
-			cur := s.table[j]
-			if cur == 0 {
-				return
-			}
-			// cur may shift back to i only if its home slot lies at or
-			// before i along the probe path ending at j.
-			if (j-s.home(cur))&s.mask >= (j-i)&s.mask {
-				s.table[i] = cur
-				i = j
-				break
-			}
-		}
-	}
+	return &hashSet{capacity: capacity, set: hashset.New(capacity)}
 }
 
 // Add inserts h, evicting the oldest entry when full. It reports
 // whether h was newly added.
 func (s *hashSet) Add(h types.Hash) bool {
-	if s.Has(h) {
+	if s.set.Has(uint64(h)) {
 		return false
 	}
 	if len(s.ring) < s.capacity {
 		s.ring = append(s.ring, h)
 	} else {
-		evicted := s.ring[s.pos]
-		if evicted == 0 {
-			s.hasZero = false
-		} else {
-			s.remove(uint64(evicted))
-		}
+		s.set.Remove(uint64(s.ring[s.pos]))
 		s.ring[s.pos] = h
 		s.pos = (s.pos + 1) % s.capacity
 	}
-	if h == 0 {
-		s.hasZero = true
-		return true
-	}
-	// Keep the table at most half full so probe chains stay short.
-	if 2*(len(s.ring)+1) > len(s.table) {
-		s.grow(2 * len(s.table))
-	}
-	s.insert(uint64(h))
+	s.set.Add(uint64(h))
 	return true
 }
 
 // Has reports whether h is in the set.
-func (s *hashSet) Has(h types.Hash) bool {
-	if h == 0 {
-		return s.hasZero
-	}
-	return s.lookup(uint64(h))
-}
+func (s *hashSet) Has(h types.Hash) bool { return s.set.Has(uint64(h)) }
 
 // Len returns the number of entries currently held.
 func (s *hashSet) Len() int { return len(s.ring) }

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -173,6 +174,13 @@ func (s *Sample) Values() []float64 {
 	copy(out, s.xs)
 	return out
 }
+
+// MarshalJSON emits the observations as a plain array, in their
+// current order (insertion order until the first quantile query sorts
+// the sample). Two samples built by identical pipelines therefore
+// marshal identically bit for bit — the property the streaming-vs-
+// batch equivalence suite asserts.
+func (s *Sample) MarshalJSON() ([]byte, error) { return json.Marshal(s.xs) }
 
 func (s *Sample) ensureSorted() {
 	if !s.sorted {

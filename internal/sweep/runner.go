@@ -34,9 +34,19 @@ type RunResult struct {
 func (r *RunResult) Ok() bool { return r.Err == nil && r.Metrics != nil }
 
 // Runner executes a matrix's campaigns on a worker pool. Each campaign
-// owns a private engine, registry and recorder, so runs proceed fully
-// independently; the runner adds no synchronization beyond handing out
-// job indices and collecting results into per-index slots.
+// owns a private engine, registry and record pipeline, so runs proceed
+// fully independently; the runner adds no synchronization beyond
+// handing out job indices and collecting results into per-index slots.
+//
+// By default every campaign runs in bounded-memory mode (records
+// stream through the analysis collector instead of accumulating in
+// RAM), so a run's footprint is dominated by its live network state
+// rather than its record volume. That makes worker counts beyond
+// GOMAXPROCS safe memory-wise: oversubscription buys no throughput for
+// these CPU-bound campaigns, but long sweeps no longer need to trim
+// concurrency to fit record retention in memory, and results are
+// unchanged either way (the streaming path is bit-identical to the
+// batch path).
 type Runner struct {
 	// Workers is the concurrency level; <= 0 means GOMAXPROCS.
 	Workers int
@@ -45,6 +55,12 @@ type Runner struct {
 	// sweeps with hundreds of runs would otherwise hold every dataset
 	// alive simultaneously.
 	KeepResults bool
+	// RetainRecords runs campaigns with raw-record retention enabled
+	// (Config.RetainRecords as given) instead of forcing bounded-memory
+	// mode. Only useful together with KeepResults, when the caller
+	// wants Results.Dataset.Blocks/Txs of every run. Config.SpillPath
+	// is cleared regardless: all runs would share the one file.
+	RetainRecords bool
 	// OnResult, when set, observes each finished run. Calls are
 	// serialized by the runner and report monotonically increasing
 	// done counts; execution order across workers is nondeterministic,
@@ -161,7 +177,15 @@ func (rn *Runner) execute(ctx context.Context, run Run) (rr RunResult) {
 	if runFn == nil {
 		runFn = runCampaign
 	}
-	res, err := runFn(run.Config)
+	cfg := run.Config
+	if !rn.RetainRecords {
+		cfg.RetainRecords = false
+	}
+	// Matrix expansion copies the base config into every run, so a
+	// SpillPath would point all concurrent campaigns at one file;
+	// sweeps never spill.
+	cfg.SpillPath = ""
+	res, err := runFn(cfg)
 	if err != nil {
 		rr.Err = fmt.Errorf("sweep: run %d (%s, seed %d): %w", run.Index, run.Scenario, run.Seed, err)
 		return

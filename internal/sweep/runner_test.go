@@ -106,6 +106,67 @@ func TestParallelMatchesSerialAggregate(t *testing.T) {
 	}
 }
 
+// TestOversubscribedWorkersMatchSerial pushes the worker count well
+// past GOMAXPROCS — viable now that each run streams its records
+// through the bounded-memory pipeline instead of retaining them — and
+// requires byte-identical aggregates against a serial execution.
+func TestOversubscribedWorkersMatchSerial(t *testing.T) {
+	matrix := func() *Matrix {
+		return &Matrix{
+			Base:  testConfig(),
+			Seeds: Seeds(5, 2),
+			Axes:  []Axis{Discovery(false, true)},
+		}
+	}
+	serial, err := (&Runner{Workers: 1}).Run(context.Background(), matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := (&Runner{Workers: 4 * DefaultWorkers()}).Run(context.Background(), matrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := Aggregate(serial).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Aggregate(over).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("oversubscribed aggregate diverged:\nserial: %s\nover:   %s", a.String(), b.String())
+	}
+}
+
+// TestRunnerBoundedMemoryDefault verifies the memory contract: runs
+// execute bounded by default (no retained records even with
+// KeepResults), and RetainRecords restores the raw dataset.
+func TestRunnerBoundedMemoryDefault(t *testing.T) {
+	m := &Matrix{Base: testConfig(), Seeds: Seeds(9, 1)}
+
+	bounded, err := (&Runner{Workers: 1, KeepResults: true}).Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounded[0].Ok() || bounded[0].Results == nil {
+		t.Fatal("run failed or results dropped")
+	}
+	if bounded[0].Results.Dataset.Blocks != nil {
+		t.Error("bounded-by-default run retained records")
+	}
+
+	retained, err := (&Runner{Workers: 1, KeepResults: true, RetainRecords: true}).Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retained[0].Results.Dataset.Blocks == nil {
+		t.Error("RetainRecords run lost its records")
+	}
+	if !metricsEqual(bounded[0].Metrics, retained[0].Metrics) {
+		t.Error("retention mode changed metrics")
+	}
+}
+
 // TestRunnerConcurrentCampaignsNoLeakage drives >= 8 campaigns
 // concurrently (one worker each), twice, and spot-checks against
 // serial executions of the same configs: any shared state between
