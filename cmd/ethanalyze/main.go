@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"ethmeasure/internal/analysis"
@@ -64,6 +65,7 @@ func run(args []string) error {
 	dataset := &analysis.Dataset{}
 	networkSize := 0
 	redundancyVantage := ""
+	var scenarioTags []string
 	if first.Kind == logs.KindMeta && first.Meta != nil {
 		meta := first.Meta
 		dataset.Vantages = meta.Vantages
@@ -72,6 +74,7 @@ func run(args []string) error {
 		dataset.Duration = time.Duration(meta.DurationNs)
 		networkSize = meta.NetworkSize
 		redundancyVantage = meta.RedundancyVantage
+		scenarioTags = meta.Scenarios
 	} else {
 		// Legacy log without metadata: a cheap prescan collects the
 		// vantage roster (records are decoded but never retained), then
@@ -130,8 +133,12 @@ func run(args []string) error {
 	if dataset.Chain == nil {
 		return fmt.Errorf("log file has no chain dump; analysis needs it")
 	}
-	fmt.Printf("streamed %d block records, %d tx records, %d chain blocks from %s\n\n",
+	fmt.Printf("streamed %d block records, %d tx records, %d chain blocks from %s\n",
 		collector.BlockRecords(), collector.TxRecords(), dataset.Chain.Len(), *logPath)
+	if len(scenarioTags) > 0 {
+		fmt.Printf("campaign scenarios: %s\n", strings.Join(scenarioTags, "; "))
+	}
+	fmt.Println()
 
 	report.TableI(os.Stdout, measure.PaperInfrastructure())
 	fmt.Println()

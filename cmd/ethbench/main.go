@@ -37,7 +37,9 @@ import (
 	"testing"
 	"time"
 
+	"ethmeasure/internal/cliutil"
 	"ethmeasure/internal/core"
+	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/sim"
 )
 
@@ -187,9 +189,10 @@ func (hs *heapSampler) Stop() uint64 {
 	return hs.peak.Load()
 }
 
-func runCampaignEntry(s scale, retain bool, vantagePeers int, w io.Writer) (Entry, error) {
+func runCampaignEntry(s scale, retain bool, vantagePeers int, scens []scenario.Spec, w io.Writer) (Entry, error) {
 	cfg := campaignConfig(s, 1, vantagePeers)
 	cfg.RetainRecords = retain
+	cfg.Scenarios = scens
 	campaign, err := core.NewCampaign(cfg)
 	if err != nil {
 		return Entry{}, fmt.Errorf("build %d-node campaign: %w", s.nodes, err)
@@ -197,6 +200,11 @@ func runCampaignEntry(s scale, retain bool, vantagePeers int, w io.Writer) (Entr
 	name := fmt.Sprintf("campaign/%d", s.nodes)
 	if retain {
 		name += "/retain"
+	}
+	for _, tag := range campaign.ScenarioTags() {
+		// Scenario-composed entries are named apart so they never gate
+		// against (or pollute) the vanilla baseline.
+		name += "/" + tag
 	}
 
 	// Simulation phase.
@@ -391,8 +399,21 @@ func run(args []string, w io.Writer) error {
 	retain := fs.Bool("retain", false, "run campaigns with raw-record retention (batch-compatible mode) instead of the bounded-memory default")
 	bothModes := fs.Bool("both-modes", false, "run every scale in bounded AND retained modes (before/after memory comparison)")
 	vantagePeers := fs.Int("vantage-peers", 0, "re-peer primary vantages with this many nodes (0 = default 50 cap); raises record volume for analysis-phase benchmarks")
+	var scenFlags cliutil.StringList
+	fs.Var(&scenFlags, "scenario", "compose a scenario into the benchmark campaign: name[:key=val,...] (repeatable; measures a scenario's perf cost)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var scens []scenario.Spec
+	for _, raw := range scenFlags {
+		spec, err := scenario.Parse(raw)
+		if err != nil {
+			return err
+		}
+		if err := scenario.Validate(spec); err != nil {
+			return err
+		}
+		scens = append(scens, spec)
 	}
 	scales, err := profileScales(*profile)
 	if err != nil {
@@ -414,7 +435,7 @@ func run(args []string, w io.Writer) error {
 			modes = []bool{false, true}
 		}
 		for _, mode := range modes {
-			entry, err := runCampaignEntry(s, mode, *vantagePeers, w)
+			entry, err := runCampaignEntry(s, mode, *vantagePeers, scens, w)
 			if err != nil {
 				return err
 			}

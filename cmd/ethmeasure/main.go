@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ethmeasure"
+	"ethmeasure/internal/cliutil"
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/report"
@@ -39,7 +41,9 @@ func run(args []string) error {
 		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
 		printInfra = fs.Bool("print-infra", false, "print Table I (infrastructure) and exit")
 		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this JSONL file")
+		scens      cliutil.StringList
 	)
+	fs.Var(&scens, "scenario", "compose a scenario: name[:key=val,...] (repeatable; see ethsim -list-scenarios)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,13 +78,24 @@ func run(args []string) error {
 	if *noTx {
 		cfg.EnableTxWorkload = false
 	}
+	for _, raw := range scens {
+		spec, err := ethmeasure.ParseScenario(raw)
+		if err != nil {
+			return err
+		}
+		cfg.Scenarios = append(cfg.Scenarios, spec)
+	}
 
 	campaign, err := ethmeasure.NewCampaign(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("running %s campaign: %d nodes, %v virtual time, seed %d\n\n",
+	fmt.Printf("running %s campaign: %d nodes, %v virtual time, seed %d\n",
 		*preset, cfg.NumNodes, cfg.Duration, cfg.Seed)
+	if tags := campaign.ScenarioTags(); len(tags) > 0 {
+		fmt.Printf("scenarios: %s\n", strings.Join(tags, "; "))
+	}
+	fmt.Println()
 	results, err := campaign.Run()
 	if err != nil {
 		return err

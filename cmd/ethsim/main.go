@@ -7,19 +7,28 @@
 //
 //	ethsim -out logs.jsonl [-preset quick|default|paper] [-seed N]
 //	       [-duration D] [-nodes N] [-no-tx] [-stream]
+//	       [-scenario name[:key=val,...]]...
+//	ethsim -list-scenarios
 //
 // With -stream the campaign runs in bounded-memory mode: records spill
 // straight to the output file as they are produced instead of
 // accumulating in RAM first — the mode for paper-scale durations.
+//
+// -scenario (repeatable) composes a registered intervention into the
+// campaign: a regional partition, a relay overlay, an eclipse attack,
+// a withholding pool, ... Run -list-scenarios for the catalog.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ethmeasure"
+	"ethmeasure/internal/cliutil"
+	"ethmeasure/internal/scenario"
 )
 
 func main() {
@@ -32,16 +41,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ethsim", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "", "output JSONL file (required)")
-		preset   = fs.String("preset", "quick", "configuration preset: quick | default | paper")
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		duration = fs.Duration("duration", 0, "override virtual campaign duration")
-		nodes    = fs.Int("nodes", 0, "override regular node count")
-		noTx     = fs.Bool("no-tx", false, "disable the transaction workload")
-		stream   = fs.Bool("stream", false, "bounded-memory mode: spill records to -out during the run instead of retaining them")
+		out       = fs.String("out", "", "output JSONL file (required)")
+		preset    = fs.String("preset", "quick", "configuration preset: quick | default | paper")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		duration  = fs.Duration("duration", 0, "override virtual campaign duration")
+		nodes     = fs.Int("nodes", 0, "override regular node count")
+		noTx      = fs.Bool("no-tx", false, "disable the transaction workload")
+		stream    = fs.Bool("stream", false, "bounded-memory mode: spill records to -out during the run instead of retaining them")
+		listScens = fs.Bool("list-scenarios", false, "print the scenario catalog and exit")
+		scens     cliutil.StringList
 	)
+	fs.Var(&scens, "scenario", "compose a scenario: name[:key=val,...] (repeatable; see -list-scenarios)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listScens {
+		printScenarioCatalog(os.Stdout)
+		return nil
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
@@ -72,12 +88,22 @@ func run(args []string) error {
 		cfg.RetainRecords = false
 		cfg.SpillPath = *out
 	}
+	for _, raw := range scens {
+		spec, err := ethmeasure.ParseScenario(raw)
+		if err != nil {
+			return err
+		}
+		cfg.Scenarios = append(cfg.Scenarios, spec)
+	}
 
 	campaign, err := ethmeasure.NewCampaign(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("simulating %v over %d nodes (seed %d)...\n", cfg.Duration, cfg.NumNodes, cfg.Seed)
+	if tags := campaign.ScenarioTags(); len(tags) > 0 {
+		fmt.Printf("scenarios: %s\n", strings.Join(tags, "; "))
+	}
 	start := time.Now()
 	results, err := campaign.Run()
 	if err != nil {
@@ -86,6 +112,11 @@ func run(args []string) error {
 	st := results.Stats
 	fmt.Printf("done in %v: %d blocks, %d txs, %d messages\n",
 		time.Since(start).Round(time.Millisecond), st.BlocksCreated, st.TxsCreated, st.Messages)
+	if results.Scenarios != nil {
+		for _, name := range results.Scenarios.Metrics.Names() {
+			fmt.Printf("  %s = %g\n", name, results.Scenarios.Metrics[name])
+		}
+	}
 
 	if !*stream {
 		if err := campaign.WriteLogs(*out); err != nil {
@@ -96,4 +127,14 @@ func run(args []string) error {
 		st.BlockRecords, st.TxRecords, *out)
 	fmt.Println("analyze with: ethanalyze -logs", *out)
 	return nil
+}
+
+// printScenarioCatalog renders the registry for -list-scenarios.
+func printScenarioCatalog(w *os.File) {
+	fmt.Fprintln(w, "Registered scenarios (compose with -scenario name[:key=val,...]):")
+	fmt.Fprintln(w)
+	for _, reg := range scenario.Catalog() {
+		fmt.Fprintf(w, "  %-14s %s\n", reg.Name, reg.Desc)
+		fmt.Fprintf(w, "  %-14s usage: %s\n", "", reg.Usage)
+	}
 }

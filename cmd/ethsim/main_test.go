@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ethmeasure/internal/logs"
 )
 
 func TestRunRequiresOut(t *testing.T) {
@@ -70,5 +72,42 @@ func TestRunStreamMatchesBatch(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	// -list-scenarios needs no -out and must not simulate anything.
+	if err := run([]string{"-list-scenarios"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadScenario(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.jsonl")
+	for _, spec := range []string{"no-such", "partition", "eclipse:attackers=0"} {
+		if err := run([]string{"-out", out, "-scenario", spec}); err == nil {
+			t.Errorf("-scenario %q accepted", spec)
+		}
+	}
+}
+
+func TestRunWithScenarioWritesTaggedLogs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scenario.jsonl")
+	err := run([]string{
+		"-out", out, "-preset", "quick",
+		"-duration", "5m", "-nodes", "60", "-no-tx", "-seed", "3",
+		"-scenario", "relayoverlay",
+		"-scenario", "churnburst:count=5,start=2m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := logs.ReadCampaignFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"relayoverlay", "churnburst:count=5,start=2m"}
+	if len(c.Meta.Scenarios) != 2 || c.Meta.Scenarios[0] != want[0] || c.Meta.Scenarios[1] != want[1] {
+		t.Errorf("log meta scenarios = %v, want %v", c.Meta.Scenarios, want)
 	}
 }

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	ethsweep [-preset quick|default|paper] [-seeds N] [-seed BASE]
-//	         [-vary axis=v1,v2,...]... [-workers N] [-json PATH]
+//	         [-vary axis=v1,v2,...]... [-scenarios spec;spec;...]
+//	         [-workers N] [-json PATH]
 //	         [-duration D] [-nodes N] [-no-tx] [-quiet]
 //
 // Axes accepted by -vary (repeatable, one axis each):
@@ -22,9 +23,15 @@
 //	txrate=0.5,2            transaction workload rate (tx/s)
 //	duration=30m,2h         virtual campaign length
 //
-// Example: 8 seeds across two node counts, JSON to a file:
+// -scenarios adds a scenario axis: semicolon-separated scenario specs
+// ("name[:key=val,...]", see ethsim -list-scenarios for the catalog),
+// each sweeping as its own variant; "none" is the unmodified base.
+//
+// Examples:
 //
 //	ethsweep -preset quick -seeds 8 -vary nodes=100,500 -json out.json
+//	ethsweep -preset quick -seeds 8 \
+//	    -scenarios "none;partition:a=EA+SEA,start=5m,dur=10m;relayoverlay"
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"ethmeasure/internal/cliutil"
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/sweep"
 )
@@ -48,12 +56,6 @@ func main() {
 		os.Exit(1)
 	}
 }
-
-// multiFlag collects repeated -vary occurrences.
-type multiFlag []string
-
-func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
-func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ethsweep", flag.ContinueOnError)
@@ -67,7 +69,8 @@ func run(args []string, stdout io.Writer) error {
 		nodes    = fs.Int("nodes", 0, "override the base regular node count")
 		noTx     = fs.Bool("no-tx", false, "disable the transaction workload")
 		quiet    = fs.Bool("quiet", false, "suppress per-run progress on stderr")
-		vary     multiFlag
+		scens    = fs.String("scenarios", "", "scenario axis: semicolon-separated specs (name[:key=val,...]; 'none' = base)")
+		vary     cliutil.StringList
 	)
 	fs.Var(&vary, "vary", "axis=v1,v2,... (repeatable; axes: nodes, discovery, pools, churn, txrate, duration)")
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +107,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	for _, spec := range vary {
 		axis, err := parseAxis(spec)
+		if err != nil {
+			return err
+		}
+		matrix.Axes = append(matrix.Axes, axis)
+	}
+	if *scens != "" {
+		axis, err := sweep.Scenarios(strings.Split(*scens, ";")...)
 		if err != nil {
 			return err
 		}

@@ -120,3 +120,62 @@ func TestRunSeedBaseOffset(t *testing.T) {
 		t.Errorf("seed base not honored:\n%s", buf.String())
 	}
 }
+
+func TestRunRejectsBadScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	for _, spec := range []string{"no-such", "partition", "churn:interval=x"} {
+		if err := run([]string{"-scenarios", spec}, &buf); err == nil {
+			t.Errorf("-scenarios %q accepted", spec)
+		}
+	}
+}
+
+func TestRunTinyScenarioSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "scn.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "quick", "-duration", "2m", "-nodes", "45", "-no-tx",
+		"-seeds", "2", "-quiet", "-json", jsonPath,
+		"-scenarios", "none;churnburst:count=5,start=30s",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Scenarios []struct {
+			Scenario string `json:"scenario"`
+			Metrics  []struct {
+				Metric string  `json:"metric"`
+				N      int     `json:"n"`
+				Mean   float64 `json:"mean"`
+			} `json:"metrics"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal(data, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Scenarios) != 2 {
+		t.Fatalf("aggregate has %d scenarios, want 2", len(agg.Scenarios))
+	}
+	found := false
+	for _, s := range agg.Scenarios {
+		if !strings.Contains(s.Scenario, "churnburst") {
+			continue
+		}
+		for _, m := range s.Metrics {
+			if m.Metric == "scenario_churnburst_restarts" {
+				found = true
+				if m.N != 2 || m.Mean != 5 {
+					t.Errorf("restarts aggregated as n=%d mean=%v, want n=2 mean=5", m.N, m.Mean)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("scenario metric not aggregated: %s", data)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
 	"ethmeasure/internal/report"
+	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/sweep"
 	"ethmeasure/internal/types"
 )
@@ -219,6 +220,30 @@ func DefaultChurnConfig() core.ChurnConfig { return core.DefaultChurnConfig() }
 
 // ChurnConfig models node turnover (see Config.Churn).
 type ChurnConfig = core.ChurnConfig
+
+// Scenario types: composable interventions plugged into a campaign via
+// Config.Scenarios (see internal/scenario for the plugin catalog:
+// churn, withhold, partition, relayoverlay, eclipse, bandwidth,
+// churnburst).
+type (
+	// ScenarioSpec names one scenario plus its parameters; textual form
+	// "name[:key=val,...]".
+	ScenarioSpec = scenario.Spec
+	// ScenarioRegistration describes one catalog entry.
+	ScenarioRegistration = scenario.Registration
+	// ScenarioResult annotates a run's Results with its scenarios.
+	ScenarioResult = analysis.ScenarioResult
+)
+
+// ParseScenario reads a scenario spec from "name[:key=val,...]".
+func ParseScenario(s string) (ScenarioSpec, error) { return scenario.Parse(s) }
+
+// ScenarioCatalog returns every registered scenario, sorted by name.
+func ScenarioCatalog() []ScenarioRegistration { return scenario.Catalog() }
+
+// SweepScenarios varies the composed scenario list across a sweep:
+// each spec string is one variant ("none" = the unmodified base).
+func SweepScenarios(specs ...string) (SweepAxis, error) { return sweep.Scenarios(specs...) }
 
 // WriteReport renders every available analysis in results to w in the
 // order the paper presents them.

@@ -1,0 +1,21 @@
+package analysis
+
+// ScenarioResult annotates a run with the interventions that were
+// composed into it: the canonical spec tags (configuration order) and
+// the per-scenario headline scalars, already prefixed with
+// "scenario_<name>_" so they merge into KeyMetrics and aggregate
+// across sweep seeds like any other metric.
+type ScenarioResult struct {
+	// Tags are the canonical scenario spec strings ("partition:a=EA", ...).
+	Tags []string `json:"tags"`
+	// Metrics are the scenario_*-prefixed headline scalars.
+	Metrics KeyMetrics `json:"metrics,omitempty"`
+}
+
+// KeyMetrics returns the scenario-tagged metrics. Nil-safe.
+func (r *ScenarioResult) KeyMetrics() KeyMetrics {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics
+}

@@ -1,0 +1,17 @@
+// Package cliutil holds small flag helpers shared by the cmd/ tools.
+package cliutil
+
+import "strings"
+
+// StringList collects every occurrence of a repeatable string flag
+// (flag.Value).
+type StringList []string
+
+// String implements flag.Value.
+func (m *StringList) String() string { return strings.Join(*m, "; ") }
+
+// Set implements flag.Value.
+func (m *StringList) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

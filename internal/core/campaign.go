@@ -11,6 +11,7 @@ import (
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
 	"ethmeasure/internal/p2p"
+	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/sim"
 	"ethmeasure/internal/simnet"
 	"ethmeasure/internal/txgen"
@@ -62,22 +63,35 @@ type Results struct {
 	Withholding *analysis.WithholdingResult // §III-D: burst-publication forensic
 	GeoDelay    *analysis.GeoDelayResult    // Figure 1 drill-down per vantage
 	FeeMarket   *analysis.FeeMarketResult   // fee vs inclusion-delay bands
+
+	// Scenarios annotates the run with the composed interventions and
+	// their scenario_*-prefixed metrics (merged into KeyMetrics). Nil
+	// when the campaign ran vanilla.
+	Scenarios *analysis.ScenarioResult
 }
 
 // Campaign is one configured measurement run.
 type Campaign struct {
 	cfg Config
 
-	engine   *sim.Engine
-	network  *simnet.Network
-	registry *chain.Registry
-	store    *txgen.Store
-	miner    *mining.Miner
-	gen      *txgen.Generator
-	churn    *churnDriver
-	vantages []*measure.Vantage
-	regular  []*p2p.Node
-	gateways [][]*p2p.Node
+	engine    *sim.Engine
+	network   *simnet.Network
+	registry  *chain.Registry
+	store     *txgen.Store
+	miner     *mining.Miner
+	gen       *txgen.Generator
+	vantages  []*measure.Vantage
+	regular   []*p2p.Node
+	gateways  [][]*p2p.Node
+	vantNodes []*p2p.Node
+
+	// Composed scenario plugins (legacy churn/withholding fields
+	// included), their shared environment, and the result annotation
+	// snapshotted at the end of Simulate.
+	scenarios    []scenario.Scenario
+	scenarioEnv  *scenario.Env
+	scenarioTags []string
+	scenarioRes  *analysis.ScenarioResult
 
 	// Record pipeline: every vantage writes to the bus, which fans out
 	// to the streaming analysis collector, the optional in-memory
@@ -207,6 +221,7 @@ func (c *Campaign) build() error {
 		vantage := measure.NewVantage(vs.Name, cfg.Clock, clockRNG.Int63(), c.bus)
 		node.Observer = vantage
 		c.vantages = append(c.vantages, vantage)
+		c.vantNodes = append(c.vantNodes, node)
 	}
 
 	// Mining subsystem.
@@ -233,16 +248,42 @@ func (c *Campaign) build() error {
 		}
 	}
 
-	// Peer churn over the regular population.
-	if cfg.Churn.Interval > 0 {
-		c.churn = newChurnDriver(cfg.Churn, c.engine, c.regular, cfg.OutDegree)
+	// Scenario composition: registered plugins replace the old
+	// special-cased churn/withholding wiring. Build instantiates every
+	// configured spec (legacy fields first), then topology mutators
+	// rewire the assembled graph and miner strategies attach to their
+	// pools; interventions wait for Simulate.
+	specs := cfg.scenarioSpecs()
+	scenarios, err := scenario.Build(specs)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
-
-	// Optional selfish block-withholding attack on one pool.
-	if cfg.WithholdingPool != "" {
-		if !c.miner.ConfigureWithholding(cfg.WithholdingPool, cfg.WithholdDepth) {
-			return fmt.Errorf("core: cannot attach withholding to pool %q (depth %d)",
-				cfg.WithholdingPool, cfg.WithholdDepth)
+	c.scenarios = scenarios
+	c.scenarioTags = scenario.Tags(specs)
+	c.scenarioEnv = &scenario.Env{
+		Engine:    c.engine,
+		Network:   c.network,
+		Registry:  c.registry,
+		P2P:       &cfg.P2P,
+		Miner:     c.miner,
+		Regular:   c.regular,
+		Gateways:  c.gateways,
+		Vantages:  c.vantNodes,
+		OutDegree: cfg.OutDegree,
+		Duration:  cfg.Duration,
+	}
+	for _, s := range c.scenarios {
+		if tm, ok := s.(scenario.TopologyMutator); ok {
+			if err := tm.MutateTopology(c.scenarioEnv); err != nil {
+				return fmt.Errorf("core: scenario %s: %w", s.Name(), err)
+			}
+		}
+	}
+	for _, s := range c.scenarios {
+		if ms, ok := s.(scenario.MinerStrategy); ok {
+			if err := ms.AttachStrategy(c.miner); err != nil {
+				return fmt.Errorf("core: scenario %s: %w", s.Name(), err)
+			}
 		}
 	}
 
@@ -287,6 +328,14 @@ func (c *Campaign) AttachRecorder(r measure.Recorder) { c.bus.Attach(r) }
 // Miner exposes the mining subsystem.
 func (c *Campaign) Miner() *mining.Miner { return c.miner }
 
+// Scenarios exposes the composed scenario plugins in composition order
+// (legacy churn/withholding fields first). Nil after ReleaseNetwork.
+func (c *Campaign) Scenarios() []scenario.Scenario { return c.scenarios }
+
+// ScenarioTags returns the canonical tags of the composed scenarios.
+// Unlike Scenarios it survives ReleaseNetwork.
+func (c *Campaign) ScenarioTags() []string { return c.scenarioTags }
+
 // Run executes the campaign and returns the analyzed results. It is
 // Simulate followed by Analyze; callers that want to profile the two
 // phases separately (cmd/ethbench) invoke them directly.
@@ -310,8 +359,14 @@ func (c *Campaign) Simulate() error {
 	if c.gen != nil {
 		c.gen.Start(c.cfg.Duration)
 	}
-	if c.churn != nil {
-		c.churn.Start(c.cfg.Duration)
+	// Interventions schedule their timed events in composition order
+	// (the legacy churn driver started in exactly this position).
+	for _, s := range c.scenarios {
+		if iv, ok := s.(scenario.Intervention); ok {
+			if err := iv.Start(c.scenarioEnv); err != nil {
+				return fmt.Errorf("core: scenario %s: %w", s.Name(), err)
+			}
+		}
 	}
 	if _, err := c.engine.Run(c.cfg.Duration); err != nil {
 		if c.spill != nil {
@@ -335,8 +390,46 @@ func (c *Campaign) Simulate() error {
 		}
 		c.spill = nil
 	}
+	c.scenarioRes = c.snapshotScenarios()
 	c.simWall = time.Since(start)
 	return nil
+}
+
+// snapshotScenarios folds the composed scenarios into the result
+// annotation: the canonical tags plus every reporter's metrics under
+// "scenario_<name>_<metric>". Taken at the end of Simulate, while the
+// plugin state is still alive (ReleaseNetwork drops it).
+func (c *Campaign) snapshotScenarios() *analysis.ScenarioResult {
+	if len(c.scenarios) == 0 {
+		return nil
+	}
+	res := &analysis.ScenarioResult{Tags: c.scenarioTags}
+	counts := make(map[string]int, len(c.scenarios))
+	for _, s := range c.scenarios {
+		counts[s.Name()]++
+	}
+	seen := make(map[string]int, len(counts))
+	for _, s := range c.scenarios {
+		seen[s.Name()]++
+		// Single instances keep the plain prefix; duplicate names get
+		// an ordinal (scenario_partition1_*, scenario_partition2_*) so
+		// composed same-name scenarios never clobber each other.
+		prefix := "scenario_" + s.Name()
+		if counts[s.Name()] > 1 {
+			prefix = fmt.Sprintf("scenario_%s%d", s.Name(), seen[s.Name()])
+		}
+		rep, ok := s.(scenario.MetricsReporter)
+		if !ok {
+			continue
+		}
+		for name, v := range rep.Metrics() {
+			if res.Metrics == nil {
+				res.Metrics = make(analysis.KeyMetrics)
+			}
+			res.Metrics[prefix+"_"+name] = v
+		}
+	}
+	return res
 }
 
 // ReleaseNetwork drops the simulated network — nodes, links, per-peer
@@ -355,10 +448,12 @@ func (c *Campaign) ReleaseNetwork() {
 	c.network = nil
 	c.miner = nil
 	c.gen = nil
-	c.churn = nil
 	c.vantages = nil
 	c.regular = nil
 	c.gateways = nil
+	c.vantNodes = nil
+	c.scenarios = nil
+	c.scenarioEnv = nil
 }
 
 // Analyze finalizes every analyzer from the streamed state and the
@@ -381,6 +476,7 @@ func (c *Campaign) Analyze() (*Results, error) {
 			BlockRecords:    c.collector.BlockRecords(),
 			TxRecords:       c.collector.TxRecords(),
 		},
+		Scenarios: c.scenarioRes,
 	}
 	if err := c.analyze(res); err != nil {
 		return nil, err
@@ -404,6 +500,7 @@ func (c *Campaign) LogMeta() *logs.Meta {
 		DurationNs:        int64(c.cfg.Duration),
 		NetworkSize:       c.numNodes,
 		Seed:              c.cfg.Seed,
+		Scenarios:         c.scenarioTags,
 	}
 	meta.Vantages = c.cfg.PrimaryVantages()
 	return meta

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -245,8 +246,11 @@ func TestCampaignWithChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if campaign.churn == nil || campaign.churn.Events() == 0 {
+	if res.Scenarios == nil || res.Scenarios.Metrics["scenario_churn_events"] == 0 {
 		t.Fatal("no churn events over 10 virtual minutes at 30s interval")
+	}
+	if len(res.Scenarios.Tags) != 1 || !strings.HasPrefix(res.Scenarios.Tags[0], "churn:") {
+		t.Errorf("scenario tags = %v, want the churn spec", res.Scenarios.Tags)
 	}
 	// The network must keep functioning: blocks still propagate to
 	// all vantages and the chain still grows.
@@ -262,7 +266,7 @@ func TestCampaignWithChurn(t *testing.T) {
 }
 
 func TestChurnDeterministic(t *testing.T) {
-	run := func() int {
+	run := func() float64 {
 		cfg := tinyConfig()
 		cfg.EnableTxWorkload = false
 		cfg.Churn = ChurnConfig{Interval: 20 * time.Second, DowntimeMean: time.Minute}
@@ -270,13 +274,14 @@ func TestChurnDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := campaign.Run(); err != nil {
+		res, err := campaign.Run()
+		if err != nil {
 			t.Fatal(err)
 		}
-		return campaign.churn.Events()
+		return res.Scenarios.Metrics["scenario_churn_events"]
 	}
 	if a, b := run(), run(); a != b {
-		t.Errorf("churn events differ across identical runs: %d vs %d", a, b)
+		t.Errorf("churn events differ across identical runs: %v vs %v", a, b)
 	}
 }
 

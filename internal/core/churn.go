@@ -1,10 +1,10 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
-	"ethmeasure/internal/p2p"
-	"ethmeasure/internal/sim"
+	"ethmeasure/internal/scenario"
 )
 
 // ChurnConfig models node churn: public Ethereum deployments see
@@ -13,6 +13,10 @@ import (
 // regular node: all its connections drop, and after a downtime it
 // re-dials a fresh random peer set — exactly what a relaunched Geth
 // does. Vantages and pool gateways are long-lived and never churn.
+//
+// ChurnConfig is the legacy configuration surface; the behaviour
+// itself lives in the "churn" scenario plugin (internal/scenario),
+// which this config converts to via Spec. Both paths are bit-identical.
 type ChurnConfig struct {
 	// Interval is the mean time between churn events (exponentially
 	// distributed). Zero disables churn.
@@ -36,71 +40,16 @@ func DefaultChurnConfig() ChurnConfig {
 	}
 }
 
-// churnDriver restarts random regular nodes on the engine.
-type churnDriver struct {
-	cfg     ChurnConfig
-	engine  *sim.Engine
-	nodes   []*p2p.Node
-	degree  int
-	horizon sim.Time
-	down    map[int]bool // node index -> currently offline
-	events  int
-}
-
-func newChurnDriver(cfg ChurnConfig, engine *sim.Engine, nodes []*p2p.Node, degree int) *churnDriver {
-	if cfg.RedialPeers > 0 {
-		degree = cfg.RedialPeers
+// Spec converts the legacy churn configuration into its scenario-spec
+// form (time.Duration round-trips exactly through String/ParseDuration,
+// so the conversion is lossless).
+func (c ChurnConfig) Spec() scenario.Spec {
+	params := map[string]string{
+		"interval": c.Interval.String(),
+		"downtime": c.DowntimeMean.String(),
 	}
-	return &churnDriver{
-		cfg:    cfg,
-		engine: engine,
-		nodes:  nodes,
-		degree: degree,
-		down:   make(map[int]bool),
+	if c.RedialPeers > 0 {
+		params["redial"] = strconv.Itoa(c.RedialPeers)
 	}
-}
-
-// Start schedules churn events until the horizon.
-func (c *churnDriver) Start(horizon sim.Time) {
-	if c.cfg.Interval <= 0 {
-		return
-	}
-	c.horizon = horizon
-	c.scheduleNext()
-}
-
-// Events returns how many restarts occurred.
-func (c *churnDriver) Events() int { return c.events }
-
-func (c *churnDriver) scheduleNext() {
-	rng := c.engine.RNG("churn")
-	wait := sim.ExpDuration(rng, c.cfg.Interval)
-	if c.engine.Now()+wait > c.horizon {
-		return
-	}
-	c.engine.After(wait, func() {
-		c.restartOne()
-		c.scheduleNext()
-	})
-}
-
-func (c *churnDriver) restartOne() {
-	rng := c.engine.RNG("churn")
-	// Pick an online node; give up after a few tries if most are down.
-	for attempt := 0; attempt < 8; attempt++ {
-		idx := rng.Intn(len(c.nodes))
-		if c.down[idx] {
-			continue
-		}
-		node := c.nodes[idx]
-		node.DisconnectAll()
-		c.down[idx] = true
-		c.events++
-		downtime := sim.ExpDuration(rng, c.cfg.DowntimeMean)
-		c.engine.After(downtime, func() {
-			c.down[idx] = false
-			p2p.ConnectToRandom(rng, node, c.nodes, c.degree)
-		})
-		return
-	}
+	return scenario.Spec{Name: scenario.ChurnName, Params: params}
 }

@@ -16,6 +16,7 @@ import (
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
 	"ethmeasure/internal/p2p"
+	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/txgen"
 )
 
@@ -123,16 +124,27 @@ type Config struct {
 	// experiments disable it to save simulation time.
 	EnableTxWorkload bool
 
+	// Scenarios composes registered interventions into the campaign:
+	// each spec names a plugin from internal/scenario ("partition",
+	// "relayoverlay", "eclipse", "bandwidth", "churnburst", "churn",
+	// "withhold") plus its parameters. Scenarios apply in list order
+	// after the base system is built; an empty list is the vanilla
+	// campaign. The legacy Churn and WithholdingPool fields below are
+	// converted into equivalent specs and composed before this list.
+	Scenarios []scenario.Spec
+
 	// Churn models node turnover across the regular population (Kim et
 	// al., IMC'18). Zero Interval disables it; calibration presets run
 	// without churn and the churn ablation benchmark enables it.
+	// Legacy surface for the "churn" scenario plugin.
 	Churn ChurnConfig
 
 	// WithholdingPool, when non-empty, attaches the selfish
 	// block-withholding strategy (Eyal-Sirer; §III-D's FAW discussion)
 	// to the named pool, releasing private chains once they reach
 	// WithholdDepth or when public progress threatens them. Empty
-	// disables the attack (all presets).
+	// disables the attack (all presets). Legacy surface for the
+	// "withhold" scenario plugin.
 	WithholdingPool string
 
 	// WithholdDepth is the private-chain length that forces a release.
@@ -324,7 +336,39 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: tx workload enabled but sender distribution is nil")
 		}
 	}
+	for _, spec := range c.scenarioSpecs() {
+		if err := scenario.Validate(spec); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	return nil
+}
+
+// scenarioSpecs returns the full composed scenario list: the legacy
+// churn and withholding fields converted to their plugin specs,
+// followed by the explicit Scenarios list.
+func (c *Config) scenarioSpecs() []scenario.Spec {
+	specs := make([]scenario.Spec, 0, len(c.Scenarios)+2)
+	if c.Churn.Interval > 0 {
+		specs = append(specs, c.Churn.Spec())
+	}
+	if c.WithholdingPool != "" {
+		specs = append(specs, scenario.Spec{
+			Name: scenario.WithholdName,
+			Params: map[string]string{
+				"pool":  c.WithholdingPool,
+				"depth": fmt.Sprintf("%d", c.WithholdDepth),
+			},
+		})
+	}
+	return append(specs, c.Scenarios...)
+}
+
+// ScenarioTags returns the canonical textual form of every composed
+// scenario (legacy fields included), in composition order — the
+// annotation carried by results and log metadata.
+func (c *Config) ScenarioTags() []string {
+	return scenario.Tags(c.scenarioSpecs())
 }
 
 // PrimaryVantages returns the non-auxiliary vantage names in

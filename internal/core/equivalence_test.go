@@ -13,6 +13,7 @@ import (
 
 	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
+	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/types"
 )
 
@@ -71,7 +72,35 @@ func equivalenceVariants() []struct {
 	noTx := tinyConfig()
 	noTx.EnableTxWorkload = false
 
-	return []struct {
+	// Scenario variants: the withholding and churn plugins plus every
+	// new scenario must stream bit-identically too, not just vanilla
+	// configs. Propagation-only keeps them cheap.
+	withhold := tinyConfig()
+	withhold.EnableTxWorkload = false
+	withhold.WithholdingPool = "Ethermine"
+	withhold.WithholdDepth = 3
+
+	addScenario := func(cfg Config, specs ...string) Config {
+		for _, raw := range specs {
+			spec, err := scenario.Parse(raw)
+			if err != nil {
+				panic(err)
+			}
+			cfg.Scenarios = append(cfg.Scenarios, spec)
+		}
+		return cfg
+	}
+	partitionCfg := tinyConfig()
+	partitionCfg.EnableTxWorkload = false
+	partitionCfg = addScenario(partitionCfg, "partition:a=EA+SEA,start=2m,dur=3m")
+	relayCfg := tinyConfig()
+	relayCfg.EnableTxWorkload = false
+	relayCfg = addScenario(relayCfg, "relayoverlay")
+	eclipseCfg := tinyConfig()
+	eclipseCfg.EnableTxWorkload = false
+	eclipseCfg = addScenario(eclipseCfg, "eclipse", "bandwidth:regions=EA,start=2m,dur=2m", "churnburst:count=5,start=5m")
+
+	variants := []struct {
 		name string
 		cfg  Config
 	}{
@@ -80,7 +109,22 @@ func equivalenceVariants() []struct {
 		{"discovery", discovery},
 		{"announce-only", announceOnly},
 		{"no-tx", noTx},
+		{"withhold", withhold},
 	}
+	if !testing.Short() {
+		// The new-scenario variants ride only in the full suite; the
+		// fast (-short -race) suite keeps the historical five plus the
+		// withholding plugin.
+		variants = append(variants, []struct {
+			name string
+			cfg  Config
+		}{
+			{"partition", partitionCfg},
+			{"relayoverlay", relayCfg},
+			{"eclipse-bw-burst", eclipseCfg},
+		}...)
+	}
+	return variants
 }
 
 // analysisJSON serializes every analysis field of a Results bit-

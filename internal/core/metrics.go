@@ -18,5 +18,6 @@ func (r *Results) KeyMetrics() analysis.KeyMetrics {
 	m.Merge(r.Ordering.KeyMetrics())
 	m.Merge(r.InterBlock.KeyMetrics())
 	m.Merge(r.Throughput.KeyMetrics())
+	m.Merge(r.Scenarios.KeyMetrics())
 	return m
 }

@@ -46,6 +46,9 @@ type Meta struct {
 	DurationNs        int64    `json:"durationNs"`
 	NetworkSize       int      `json:"networkSize"`
 	Seed              int64    `json:"seed"`
+	// Scenarios lists the canonical tags of the interventions composed
+	// into the campaign (empty for vanilla runs and pre-scenario logs).
+	Scenarios []string `json:"scenarios,omitempty"`
 }
 
 // ChainBlock is the serialized form of a registry block (the "chain

@@ -98,9 +98,10 @@ type Miner struct {
 	emptyByPolicy int
 	emptyStarved  int
 
-	// withhold, when non-nil, applies the selfish block-withholding
-	// strategy to one pool (see withhold.go).
-	withhold *withholder
+	// strategies binds publication strategies to individual pools
+	// (at most one per pool; see Strategy in withhold.go). The selfish
+	// block-withholding attack is the built-in one.
+	strategies []poolStrategy
 }
 
 // NewMiner creates the mining subsystem. Each spec must come with at
@@ -263,9 +264,10 @@ func (m *Miner) samplePool() *Pool {
 func (m *Miner) mineOne() {
 	pool := m.samplePool()
 	parent := pool.jobHead
-	// A withholding pool extends its private tip instead of the
-	// public head.
-	if private := m.withholdParent(pool); private != nil {
+	// A pool with an attached strategy may prefer a different parent
+	// (a withholding pool extends its private tip instead of the
+	// public head).
+	if private := m.strategyParent(pool); private != nil {
 		parent = private
 	}
 	empty := m.rng.Float64() < pool.Spec.EmptyRate
@@ -277,7 +279,7 @@ func (m *Miner) mineOne() {
 			m.emptyStarved++
 		}
 	}
-	if m.maybeWithhold(pool, b) {
+	if m.maybeIntercept(pool, b) {
 		return // intercepted: no immediate publish, no siblings
 	}
 	m.publish(pool, b, true /* ownJobAdvance */)
@@ -400,10 +402,8 @@ func (m *Miner) publish(pool *Pool, b *types.Block, advanceJob bool) {
 	gw := pool.gateways[pool.rrGate%len(pool.gateways)]
 	pool.rrGate++
 	gw.PublishBlock(b)
-	// Public progress may trigger a withholder's override burst.
-	if m.withhold != nil && m.withhold.pool != pool {
-		m.notifyPublicBlock(b)
-	}
+	// Public progress may trigger a competing strategy's override burst.
+	m.notifyPublicBlock(pool, b)
 }
 
 func jitteredDuration(rng *rand.Rand, d time.Duration, j float64) time.Duration {

@@ -1,9 +1,72 @@
 package mining
 
 import (
+	"fmt"
+
 	"ethmeasure/internal/chain"
 	"ethmeasure/internal/types"
 )
+
+// Strategy customises one pool's block-publication behaviour. A
+// strategy is bound to exactly one pool via Miner.AttachStrategy; the
+// miner consults it on every block the pool mines and on every block a
+// competing pool publishes. The built-in Withholding strategy is the
+// classic selfish-mining attack; scenario plugins supply others.
+//
+// All hooks run synchronously on the single-threaded simulation engine
+// and must be deterministic: no wall-clock time, no RNG outside the
+// engine's named streams.
+type Strategy interface {
+	// PreferredParent returns the block the pool should mine on instead
+	// of its public job head, or nil to follow the public head. Selfish
+	// strategies return their private tip here.
+	PreferredParent() *types.Block
+
+	// OnMined intercepts a freshly mined block before publication: the
+	// block is registered globally but NOT broadcast. The returned burst
+	// (possibly including b itself) is published back-to-back
+	// immediately. Returning nil keeps the block private.
+	OnMined(b *types.Block) []*types.Block
+
+	// OnPublicBlock reacts to a block published by a competing pool,
+	// returning private blocks to release in response (the "race"
+	// branch of selfish mining), or nil.
+	OnPublicBlock(b *types.Block) []*types.Block
+}
+
+// poolStrategy binds a strategy to its pool.
+type poolStrategy struct {
+	pool  *Pool
+	strat Strategy
+}
+
+// AttachStrategy binds a publication strategy to the named pool. At
+// most one strategy per pool; unknown pools are rejected.
+func (m *Miner) AttachStrategy(poolName string, s Strategy) error {
+	for _, p := range m.pools {
+		if p.Spec.Name != poolName {
+			continue
+		}
+		for i := range m.strategies {
+			if m.strategies[i].pool == p {
+				return fmt.Errorf("mining: pool %q already has a strategy", poolName)
+			}
+		}
+		m.strategies = append(m.strategies, poolStrategy{pool: p, strat: s})
+		return nil
+	}
+	return fmt.Errorf("mining: unknown pool %q", poolName)
+}
+
+// strategyFor returns the strategy bound to pool, or nil.
+func (m *Miner) strategyFor(pool *Pool) Strategy {
+	for i := range m.strategies {
+		if m.strategies[i].pool == pool {
+			return m.strategies[i].strat
+		}
+	}
+	return nil
+}
 
 // Withholding implements the classic selfish-mining strategy (Eyal &
 // Sirer; the paper's §III-D cites the FAW variant when arguing that
@@ -12,31 +75,49 @@ import (
 // private, extends its private chain, and publishes in a burst either
 // when the public chain threatens to catch up or when the private lead
 // reaches a cap.
-//
-// The strategy is attached to at most one pool per run via
-// Config.WithholdingPool / Config.WithholdDepth.
-type withholder struct {
-	pool  *Pool
+type Withholding struct {
 	depth int // publish when the private lead reaches this
 
 	private []*types.Block // unpublished blocks, oldest first
+
+	bursts   int // burst releases (diagnostics)
+	released int // blocks published through bursts
 }
 
-// lead is the private chain length.
-func (w *withholder) lead() int { return len(w.private) }
+var _ Strategy = (*Withholding)(nil)
+
+// NewWithholding creates the selfish block-withholding strategy with
+// the given private-chain release depth (must be at least 2).
+func NewWithholding(depth int) (*Withholding, error) {
+	if depth < 2 {
+		return nil, fmt.Errorf("mining: withholding depth %d < 2", depth)
+	}
+	return &Withholding{depth: depth}, nil
+}
+
+// Lead is the current private chain length.
+func (w *Withholding) Lead() int { return len(w.private) }
+
+// Bursts returns how many burst releases occurred.
+func (w *Withholding) Bursts() int { return w.bursts }
+
+// Released returns how many blocks were published through bursts.
+func (w *Withholding) Released() int { return w.released }
 
 // tip returns the private tip, or nil when nothing is withheld.
-func (w *withholder) tip() *types.Block {
+func (w *Withholding) tip() *types.Block {
 	if len(w.private) == 0 {
 		return nil
 	}
 	return w.private[len(w.private)-1]
 }
 
-// onMined intercepts a freshly mined block: it is withheld instead of
-// published. Returns the blocks to publish now (burst), if the lead
-// cap was reached.
-func (w *withholder) onMined(b *types.Block) []*types.Block {
+// PreferredParent mines on the private tip when one exists.
+func (w *Withholding) PreferredParent() *types.Block { return w.tip() }
+
+// OnMined withholds the freshly mined block, bursting the private
+// chain when the lead cap is reached.
+func (w *Withholding) OnMined(b *types.Block) []*types.Block {
 	w.private = append(w.private, b)
 	if len(w.private) >= w.depth {
 		return w.flush()
@@ -44,68 +125,74 @@ func (w *withholder) onMined(b *types.Block) []*types.Block {
 	return nil
 }
 
-// onPublicBlock reacts to a competing public block at the given total
-// difficulty: when the public chain gets within one block of the
-// private tip, the withholder publishes everything to override it
-// (the "race" branch of selfish mining).
-func (w *withholder) onPublicBlock(publicTD uint64) []*types.Block {
+// OnPublicBlock reacts to a competing public block: when the public
+// chain gets within one block of the private tip, the withholder
+// publishes everything to override it (the "race" branch of selfish
+// mining).
+func (w *Withholding) OnPublicBlock(b *types.Block) []*types.Block {
 	tip := w.tip()
 	if tip == nil {
 		return nil
 	}
-	if publicTD+1 >= tip.TotalDiff {
+	if b.TotalDiff+1 >= tip.TotalDiff {
 		return w.flush()
 	}
 	return nil
 }
 
-func (w *withholder) flush() []*types.Block {
+func (w *Withholding) flush() []*types.Block {
 	out := w.private
 	w.private = nil
+	w.bursts++
+	w.released += len(out)
 	return out
 }
 
-// ConfigureWithholding attaches the strategy to the named pool.
-// Returns false if the pool is unknown.
+// ConfigureWithholding attaches the withholding strategy to the named
+// pool. Returns false if the pool is unknown, already has a strategy,
+// or the depth is below 2. Kept as the legacy entry point behind
+// Config.WithholdingPool; new code goes through AttachStrategy.
 func (m *Miner) ConfigureWithholding(poolName string, depth int) bool {
-	if depth < 2 {
+	w, err := NewWithholding(depth)
+	if err != nil {
 		return false
 	}
-	for _, p := range m.pools {
-		if p.Spec.Name == poolName {
-			m.withhold = &withholder{pool: p, depth: depth}
-			return true
+	return m.AttachStrategy(poolName, w) == nil
+}
+
+// Withheld returns how many blocks are currently private across all
+// withholding strategies (diagnostics).
+func (m *Miner) Withheld() int {
+	n := 0
+	for i := range m.strategies {
+		if w, ok := m.strategies[i].strat.(*Withholding); ok {
+			n += w.Lead()
 		}
 	}
-	return false
+	return n
 }
 
-// Withheld returns how many blocks are currently private (diagnostics).
-func (m *Miner) Withheld() int {
-	if m.withhold == nil {
-		return 0
-	}
-	return m.withhold.lead()
-}
-
-// withholdParent returns the parent the withholding pool should mine
-// on: its private tip when one exists.
-func (m *Miner) withholdParent(pool *Pool) *types.Block {
-	if m.withhold == nil || m.withhold.pool != pool {
+// strategyParent returns the parent the pool's strategy prefers, or
+// nil when the pool has no strategy or the strategy follows the public
+// head.
+func (m *Miner) strategyParent(pool *Pool) *types.Block {
+	s := m.strategyFor(pool)
+	if s == nil {
 		return nil
 	}
-	return m.withhold.tip()
+	return s.PreferredParent()
 }
 
-// maybeWithhold intercepts a mined block for the withholding pool.
-// It reports whether the block was intercepted and publishes any burst
-// that resulted.
-func (m *Miner) maybeWithhold(pool *Pool, b *types.Block) bool {
-	if m.withhold == nil || m.withhold.pool != pool {
+// maybeIntercept hands a freshly mined block to the pool's strategy.
+// It reports whether the block was intercepted (registered but not
+// broadcast) and publishes any burst the strategy released.
+func (m *Miner) maybeIntercept(pool *Pool, b *types.Block) bool {
+	s := m.strategyFor(pool)
+	if s == nil {
 		return false
 	}
 	// Private blocks still enter the global registry (they exist), but
-	// are not broadcast until flushed.
+	// are not broadcast until the strategy releases them.
 	if err := m.reg.Add(b); err != nil {
 		return true
 	}
@@ -113,18 +200,20 @@ func (m *Miner) maybeWithhold(pool *Pool, b *types.Block) bool {
 	if m.OnBlockMined != nil {
 		m.OnBlockMined(b, pool)
 	}
-	burst := m.withhold.onMined(b)
-	m.publishBurst(pool, burst)
+	m.publishBurst(pool, s.OnMined(b))
 	return true
 }
 
-// notifyPublicBlock lets the withholder react to public progress.
-func (m *Miner) notifyPublicBlock(b *types.Block) {
-	if m.withhold == nil {
-		return
+// notifyPublicBlock lets every competing pool's strategy react to
+// public progress.
+func (m *Miner) notifyPublicBlock(from *Pool, b *types.Block) {
+	for i := range m.strategies {
+		ps := &m.strategies[i]
+		if ps.pool == from {
+			continue
+		}
+		m.publishBurst(ps.pool, ps.strat.OnPublicBlock(b))
 	}
-	burst := m.withhold.onPublicBlock(b.TotalDiff)
-	m.publishBurst(m.withhold.pool, burst)
 }
 
 // publishBurst broadcasts withheld blocks back-to-back — the
@@ -148,5 +237,12 @@ func (m *Miner) publishBurst(pool *Pool, burst []*types.Block) {
 		gw := pool.gateways[pool.rrGate%len(pool.gateways)]
 		pool.rrGate++
 		gw.PublishBlock(b)
+		// Burst releases are public progress too: competing strategies
+		// must see them (OnPublicBlock's contract). With a single
+		// strategy this is a no-op — the burst belongs to its own pool —
+		// so the legacy withholding path is unchanged. Recursion
+		// terminates because a strategy's flush empties its private
+		// chain before returning.
+		m.notifyPublicBlock(pool, b)
 	}
 }

@@ -89,11 +89,11 @@ func TestWithholdingOverridesPublicProgress(t *testing.T) {
 	// Attacker privately mines two blocks.
 	g := h.reg.Genesis()
 	b1 := m.buildBlock(attacker, g, true, nil)
-	if !m.maybeWithhold(attacker, b1) {
+	if !m.maybeIntercept(attacker, b1) {
 		t.Fatal("block not intercepted")
 	}
 	b2 := m.buildBlock(attacker, b1, true, nil)
-	if !m.maybeWithhold(attacker, b2) {
+	if !m.maybeIntercept(attacker, b2) {
 		t.Fatal("second block not intercepted")
 	}
 	if m.Withheld() != 2 {

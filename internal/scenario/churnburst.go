@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"ethmeasure/internal/p2p"
+	"ethmeasure/internal/sim"
+)
+
+// ChurnBurstName addresses the correlated mass-restart scenario.
+const ChurnBurstName = "churnburst"
+
+func init() {
+	Register(Registration{
+		Name:  ChurnBurstName,
+		Desc:  "restart many nodes at once (correlated outage / client bug)",
+		Usage: "churnburst[:count=20,start=10m,downtime=1m,redial=N]",
+		New: func(p *Params) (Scenario, error) {
+			s := &ChurnBurst{
+				Count:        p.Int("count", 20),
+				At:           p.Dur("start", -1),
+				DowntimeMean: p.Dur("downtime", time.Minute),
+				RedialPeers:  p.Int("redial", 0),
+			}
+			if s.Count < 1 {
+				return nil, fmt.Errorf("count must be at least 1")
+			}
+			if s.DowntimeMean < 0 || s.RedialPeers < 0 {
+				return nil, fmt.Errorf("negative downtime or redial")
+			}
+			return s, nil
+		},
+	})
+}
+
+// ChurnBurst models a correlated outage — a buggy client release, a
+// cloud-zone failure — by restarting Count random regular nodes at one
+// instant instead of spreading restarts over the run the way the churn
+// scenario does. Each victim drops all its connections and re-dials a
+// fresh peer set after an exponentially distributed downtime.
+type ChurnBurst struct {
+	// Count is how many distinct regular nodes restart.
+	Count int
+	// At is when the burst fires; negative means mid-run.
+	At time.Duration
+	// DowntimeMean is the mean offline period before rejoining.
+	DowntimeMean time.Duration
+	// RedialPeers is how many peers a rejoining node dials (0 = the
+	// campaign's OutDegree).
+	RedialPeers int
+
+	restarts int
+}
+
+var (
+	_ Intervention    = (*ChurnBurst)(nil)
+	_ MetricsReporter = (*ChurnBurst)(nil)
+)
+
+// Name implements Scenario.
+func (s *ChurnBurst) Name() string { return ChurnBurstName }
+
+// Start implements Intervention: schedules the burst.
+func (s *ChurnBurst) Start(env *Env) error {
+	at := s.At
+	if at < 0 {
+		at = env.Duration / 2
+	}
+	if at >= env.Duration {
+		return nil
+	}
+	degree := env.OutDegree
+	if s.RedialPeers > 0 {
+		degree = s.RedialPeers
+	}
+	count := s.Count
+	if count > len(env.Regular) {
+		count = len(env.Regular)
+	}
+	env.Engine.After(at, func() {
+		rng := env.RNG(ChurnBurstName)
+		// Distinct victims via a partial Fisher-Yates over node indices.
+		idx := rng.Perm(len(env.Regular))[:count]
+		for _, i := range idx {
+			node := env.Regular[i]
+			node.DisconnectAll()
+			s.restarts++
+			downtime := sim.ExpDuration(rng, s.DowntimeMean)
+			env.Engine.After(downtime, func() {
+				p2p.ConnectToRandom(rng, node, env.Regular, degree)
+			})
+		}
+	})
+	return nil
+}
+
+// Metrics implements MetricsReporter.
+func (s *ChurnBurst) Metrics() map[string]float64 {
+	return map[string]float64{"restarts": float64(s.restarts)}
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/p2p"
+)
+
+// RelayOverlayName addresses the low-latency relay-hub scenario.
+const RelayOverlayName = "relayoverlay"
+
+func init() {
+	Register(Registration{
+		Name:  RelayOverlayName,
+		Desc:  "bloXroute-style low-latency hub peered to every pool gateway",
+		Usage: "relayoverlay[:region=NA,hubs=1,peers=32,bw=2.5e9,procspeed=0.2]",
+		New: func(p *Params) (Scenario, error) {
+			s := &RelayOverlay{
+				Region:    p.Region("region", geo.NorthAmerica),
+				Hubs:      p.Int("hubs", 1),
+				Peers:     p.Int("peers", 32),
+				Bandwidth: p.Float("bw", 2.5e9), // 20 Gbit/s backbone
+				ProcSpeed: p.Float("procspeed", 0.2),
+			}
+			if s.Hubs < 1 {
+				return nil, fmt.Errorf("hubs must be at least 1")
+			}
+			if s.Peers < 0 {
+				return nil, fmt.Errorf("negative peers")
+			}
+			if s.Bandwidth <= 0 || s.ProcSpeed <= 0 {
+				return nil, fmt.Errorf("bandwidth and procspeed must be positive")
+			}
+			return s, nil
+		},
+	})
+}
+
+// RelayOverlay models a block-distribution-network hub (bloXroute BDN,
+// Fibre-style relays): one or more high-bandwidth, fast-import nodes
+// peered directly to every pool gateway plus a slice of the regular
+// population. The hub speaks the ordinary wire protocol — its edge is
+// purely physical (backbone bandwidth, fast hardware, pool adjacency),
+// which is how the related work's relay overlays achieve their
+// propagation advantage.
+type RelayOverlay struct {
+	// Region is where the hubs sit.
+	Region geo.Region
+	// Hubs is how many relay nodes to deploy.
+	Hubs int
+	// Peers is how many regular nodes each hub additionally dials.
+	Peers int
+	// Bandwidth is each hub's link speed in bytes/second.
+	Bandwidth float64
+	// ProcSpeed scales hub processing delays (<1 = faster than
+	// baseline hardware).
+	ProcSpeed float64
+
+	links int
+}
+
+var (
+	_ TopologyMutator = (*RelayOverlay)(nil)
+	_ MetricsReporter = (*RelayOverlay)(nil)
+)
+
+// Name implements Scenario.
+func (s *RelayOverlay) Name() string { return RelayOverlayName }
+
+// MutateTopology implements TopologyMutator: adds the hub nodes and
+// wires them to the pool gateways and the regular population.
+func (s *RelayOverlay) MutateTopology(env *Env) error {
+	rng := env.RNG(RelayOverlayName)
+	gateways := env.PoolGateways()
+	for i := 0; i < s.Hubs; i++ {
+		endpoint, err := env.Network.AddNode(s.Region, s.Bandwidth)
+		if err != nil {
+			return err
+		}
+		hub := p2p.NewNode(env.P2P, env.Network, endpoint, env.Registry)
+		hub.SetProcSpeed(s.ProcSpeed)
+		env.Added = append(env.Added, hub)
+		for _, gw := range gateways {
+			p2p.Connect(hub, gw)
+		}
+		s.links += len(gateways)
+		s.links += p2p.ConnectToRandom(rng, hub, env.Regular, s.Peers)
+	}
+	return nil
+}
+
+// Metrics implements MetricsReporter.
+func (s *RelayOverlay) Metrics() map[string]float64 {
+	return map[string]float64{
+		"hubs":  float64(s.Hubs),
+		"links": float64(s.links),
+	}
+}

@@ -1,0 +1,159 @@
+// Package scenario turns campaign conditions into composable plugins.
+//
+// The paper's core findings come from contrasting network conditions —
+// geo-distribution, pool-gateway adjacency, withholding attacks — and
+// the scenario space worth exploring is much wider: regional
+// partitions, relay overlays (bloXroute-style), eclipse attacks,
+// bandwidth degradation, churn bursts. Instead of hard-wiring each
+// condition into core.Config flags and Campaign.build, every condition
+// is a named, parameterised plugin registered here; core composes the
+// configured list into the assembled campaign.
+//
+// A scenario instance may implement any combination of three hooks:
+//
+//   - TopologyMutator runs once after the network graph is built,
+//     before the simulation starts (rewire, partition prep, add relay
+//     or attacker nodes).
+//   - MinerStrategy runs once after the mining subsystem is built and
+//     attaches a mining.Strategy to a pool (withholding and friends).
+//   - Intervention runs at simulation start and schedules timed events
+//     on the engine (partition windows, bandwidth windows, churn).
+//
+// Determinism contract: scenarios must draw randomness only from the
+// engine's named streams. Plugins converted from legacy config fields
+// (churn, withhold) keep their historical stream names so existing
+// campaigns stay bit-identical; new plugins use Env.RNG, which
+// namespaces streams under "scenario/" so adding a scenario never
+// perturbs the draws seen by the rest of the system.
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/mining"
+	"ethmeasure/internal/p2p"
+	"ethmeasure/internal/sim"
+	"ethmeasure/internal/simnet"
+)
+
+// Scenario is one instantiated intervention. Implementations opt into
+// hooks by additionally implementing TopologyMutator, MinerStrategy,
+// Intervention and/or MetricsReporter.
+type Scenario interface {
+	// Name returns the registered scenario name ("partition", ...).
+	Name() string
+}
+
+// TopologyMutator rewires the assembled network graph after
+// construction and before the run: partitions, eclipse wiring, extra
+// overlay nodes.
+type TopologyMutator interface {
+	Scenario
+	MutateTopology(env *Env) error
+}
+
+// MinerStrategy attaches a pool-level mining strategy (see
+// mining.Strategy) to the assembled mining subsystem.
+type MinerStrategy interface {
+	Scenario
+	AttachStrategy(m *mining.Miner) error
+}
+
+// Intervention schedules timed events on the simulation engine when
+// the run starts: partition windows, bandwidth degradation, churn.
+type Intervention interface {
+	Scenario
+	Start(env *Env) error
+}
+
+// MetricsReporter exposes per-scenario headline scalars after the run
+// (event counts, severed links, ...). Core prefixes each name with
+// "scenario_<name>_" and merges them into the campaign's KeyMetrics,
+// so sweeps aggregate them like any other metric.
+type MetricsReporter interface {
+	Scenario
+	Metrics() map[string]float64
+}
+
+// Env is the assembled campaign substrate a scenario acts on. Core
+// builds it once per campaign; all node slices are in deterministic
+// construction order.
+type Env struct {
+	Engine   *sim.Engine
+	Network  *simnet.Network
+	Registry *chain.Registry
+	P2P      *p2p.Config
+	Miner    *mining.Miner
+
+	// Regular are the plain (non-gateway, non-vantage) nodes.
+	Regular []*p2p.Node
+	// Gateways are the pool gateway nodes, per pool in spec order.
+	Gateways [][]*p2p.Node
+	// Vantages are the measurement nodes in config order.
+	Vantages []*p2p.Node
+	// Added are protocol nodes created by topology mutators (relay
+	// hubs, attacker relays). Mutators MUST append every node they
+	// create so later hooks — a partition severing cross-cut links, a
+	// second mutator — see the full graph through AllNodes.
+	Added []*p2p.Node
+
+	// OutDegree is the campaign's regular-node dial count.
+	OutDegree int
+	// Duration is the virtual campaign length (the intervention horizon).
+	Duration time.Duration
+}
+
+// RNG returns a deterministic random stream private to the named
+// scenario. The "scenario/" namespace guarantees no collision with the
+// simulator's own streams.
+func (e *Env) RNG(name string) *rand.Rand {
+	return e.Engine.RNG("scenario/" + name)
+}
+
+// AllNodes returns every protocol node — regular population, pool
+// gateways, vantages, then mutator-added nodes — in deterministic
+// construction order.
+func (e *Env) AllNodes() []*p2p.Node {
+	out := make([]*p2p.Node, 0, len(e.Regular)+len(e.Vantages)+len(e.Added)+8)
+	out = append(out, e.Regular...)
+	for _, gws := range e.Gateways {
+		out = append(out, gws...)
+	}
+	out = append(out, e.Vantages...)
+	return append(out, e.Added...)
+}
+
+// PoolGateways returns every pool gateway node, pools in spec order.
+func (e *Env) PoolGateways() []*p2p.Node {
+	var out []*p2p.Node
+	for _, gws := range e.Gateways {
+		out = append(out, gws...)
+	}
+	return out
+}
+
+// regionSet folds a region list into a membership set.
+func regionSet(regions []geo.Region) map[geo.Region]bool {
+	set := make(map[geo.Region]bool, len(regions))
+	for _, r := range regions {
+		set[r] = true
+	}
+	return set
+}
+
+// complementRegions returns every defined region not in set.
+func complementRegions(set map[geo.Region]bool) []geo.Region {
+	var out []geo.Region
+	for _, r := range geo.AllRegions() {
+		if !set[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// nodeRegion returns the geographic region of a protocol node.
+func nodeRegion(n *p2p.Node) geo.Region { return n.Endpoint().Region }

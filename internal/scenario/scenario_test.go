@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/geo"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"churn", Spec{Name: "churn"}},
+		{"partition:a=EA+SEA,start=5m", Spec{
+			Name:   "partition",
+			Params: map[string]string{"a": "EA+SEA", "start": "5m"},
+		}},
+		{" withhold : pool = Ethermine , depth = 3 ", Spec{
+			Name:   "withhold",
+			Params: map[string]string{"pool": "Ethermine", "depth": "3"},
+		}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got.Name != c.want.Name || !reflect.DeepEqual(got.Params, c.want.Params) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// Canonical form reparses to the same spec.
+		again, err := Parse(got.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", got.String(), err)
+		}
+		if again.String() != got.String() {
+			t.Errorf("round trip changed %q to %q", got.String(), again.String())
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{"", ":a=b", "partition:novalue", "partition:a=EA,a=WE"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestSpecStringSortsParams(t *testing.T) {
+	s := Spec{Name: "x", Params: map[string]string{"b": "2", "a": "1"}}
+	if got, want := s.String(), "x:a=1,b=2"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRegistryRejectsUnknownScenario(t *testing.T) {
+	if err := Validate(Spec{Name: "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRegistryRejectsUnknownParam(t *testing.T) {
+	spec := Spec{Name: ChurnName, Params: map[string]string{"intreval": "2m"}}
+	err := Validate(spec)
+	if err == nil {
+		t.Fatal("misspelled parameter accepted")
+	}
+	if !strings.Contains(err.Error(), "intreval") {
+		t.Errorf("error %v does not name the bad key", err)
+	}
+}
+
+func TestRegistryRejectsBadValues(t *testing.T) {
+	bad := []string{
+		"churn:interval=banana",
+		"churn:interval=-2m",
+		"withhold",                      // pool required
+		"withhold:pool=X,depth=1",       // depth < 2
+		"partition",                     // region set a required
+		"partition:a=EA,b=EA",           // region on both sides
+		"partition:a=Mars",              // unknown region
+		"relayoverlay:hubs=0",           // hubs < 1
+		"bandwidth",                     // regions required
+		"bandwidth:regions=EA,factor=0", // factor must be positive
+		"eclipse:attackers=0",
+		"churnburst:count=0",
+	}
+	for _, raw := range bad {
+		spec, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", raw, err)
+		}
+		if err := Validate(spec); err == nil {
+			t.Errorf("Validate(%q) accepted", raw)
+		}
+	}
+}
+
+func TestCatalogCoversAllPlugins(t *testing.T) {
+	want := []string{
+		BandwidthName, ChurnName, ChurnBurstName, EclipseName,
+		PartitionName, RelayOverlayName, WithholdName,
+	}
+	got := Names()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	for _, reg := range Catalog() {
+		if reg.Desc == "" || reg.Usage == "" {
+			t.Errorf("scenario %s lacks catalog description/usage", reg.Name)
+		}
+		if !strings.HasPrefix(reg.Usage, reg.Name) {
+			t.Errorf("scenario %s usage %q does not start with its name", reg.Name, reg.Usage)
+		}
+	}
+}
+
+func TestDefaultsInstantiate(t *testing.T) {
+	// Every scenario with defaults for all parameters must instantiate
+	// bare; the ones with required parameters are covered above.
+	for _, raw := range []string{
+		"churn", "relayoverlay", "eclipse", "churnburst",
+		"partition:a=EA", "bandwidth:regions=EA", "withhold:pool=X",
+	} {
+		spec, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", raw, err)
+		}
+		s, err := New(spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", raw, err)
+		}
+		if s.Name() != spec.Name {
+			t.Errorf("instance name %q != spec name %q", s.Name(), spec.Name)
+		}
+	}
+}
+
+func TestParamsTypedGetters(t *testing.T) {
+	p := newParams("t", map[string]string{
+		"i": "7", "f": "0.5", "d": "90s", "r": "EA+NA", "one": "WE", "s": "x",
+	})
+	if got := p.Int("i", 0); got != 7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := p.Float("f", 0); got != 0.5 {
+		t.Errorf("Float = %v", got)
+	}
+	if got := p.Dur("d", 0); got != 90*time.Second {
+		t.Errorf("Dur = %v", got)
+	}
+	if got := p.Regions("r"); !reflect.DeepEqual(got, []geo.Region{geo.EasternAsia, geo.NorthAmerica}) {
+		t.Errorf("Regions = %v", got)
+	}
+	if got := p.Region("one", 0); got != geo.WesternEurope {
+		t.Errorf("Region = %v", got)
+	}
+	if got := p.Str("s", ""); got != "x" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := p.Int("missing", 42); got != 42 {
+		t.Errorf("default = %d", got)
+	}
+	if err := p.Err(); err != nil {
+		t.Errorf("Err() = %v", err)
+	}
+}
+
+func TestTagsPreserveOrder(t *testing.T) {
+	specs := []Spec{
+		{Name: "relayoverlay"},
+		{Name: "partition", Params: map[string]string{"a": "EA"}},
+	}
+	got := Tags(specs)
+	want := []string{"relayoverlay", "partition:a=EA"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tags = %v, want %v", got, want)
+	}
+	if Tags(nil) != nil {
+		t.Error("Tags(nil) != nil")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/mining"
+	"ethmeasure/internal/scenario"
 )
 
 // Variant is one setting of an axis: a label plus the mutation it
@@ -284,6 +285,48 @@ func poolsFor(kind string) ([]mining.PoolSpec, error) {
 	default:
 		return nil, fmt.Errorf("sweep: unknown pool split %q (want paper|uniform|equal|majority)", kind)
 	}
+}
+
+// ScenarioVariantNone is the Scenarios variant name meaning "no extra
+// scenario" (the unmodified base configuration).
+const ScenarioVariantNone = "none"
+
+// Scenarios varies the composed intervention list: each variant is one
+// scenario spec string ("partition:a=EA+SEA,dur=10m",
+// "relayoverlay", ...) appended to the base config's Scenarios list,
+// or "none" for the unmodified base. Specs are parsed and validated
+// against the scenario registry up front, so a sweep fails fast on an
+// unknown name or parameter.
+func Scenarios(specs ...string) (Axis, error) {
+	ax := Axis{Name: "scenario"}
+	for _, raw := range specs {
+		raw = strings.TrimSpace(raw)
+		if raw == ScenarioVariantNone || raw == "base" {
+			ax.Variants = append(ax.Variants, Variant{
+				Name:  ScenarioVariantNone,
+				Apply: func(*core.Config) {},
+			})
+			continue
+		}
+		spec, err := scenario.Parse(raw)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: scenario axis: %w", err)
+		}
+		if err := scenario.Validate(spec); err != nil {
+			return Axis{}, fmt.Errorf("sweep: scenario axis: %w", err)
+		}
+		ax.Variants = append(ax.Variants, Variant{
+			Name: spec.String(),
+			Apply: func(cfg *core.Config) {
+				// Copy-on-append: the base config's slice is shared
+				// across every expanded run.
+				scenarios := make([]scenario.Spec, 0, len(cfg.Scenarios)+1)
+				scenarios = append(scenarios, cfg.Scenarios...)
+				cfg.Scenarios = append(scenarios, spec)
+			},
+		})
+	}
+	return ax, nil
 }
 
 // Churn profile variants accepted by ChurnProfiles.

@@ -202,3 +202,66 @@ func TestDurationsAxis(t *testing.T) {
 		t.Error("duration not applied")
 	}
 }
+
+func TestScenariosAxis(t *testing.T) {
+	ax, err := Scenarios("none", "partition:a=EA,start=2m,dur=2m", "relayoverlay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Name != "scenario" || len(ax.Variants) != 3 {
+		t.Fatalf("axis = %+v", ax)
+	}
+	if ax.Variants[0].Name != ScenarioVariantNone {
+		t.Errorf("variant 0 = %q", ax.Variants[0].Name)
+	}
+	if ax.Variants[1].Name != "partition:a=EA,dur=2m,start=2m" {
+		t.Errorf("variant 1 = %q (want canonical spec)", ax.Variants[1].Name)
+	}
+
+	base := core.QuickConfig()
+	none, part := base, base
+	ax.Variants[0].Apply(&none)
+	ax.Variants[1].Apply(&part)
+	if len(none.Scenarios) != 0 {
+		t.Error("'none' variant composed a scenario")
+	}
+	if len(part.Scenarios) != 1 || part.Scenarios[0].Name != "partition" {
+		t.Errorf("partition variant scenarios = %+v", part.Scenarios)
+	}
+	if len(base.Scenarios) != 0 {
+		t.Error("Apply mutated the shared base config")
+	}
+}
+
+func TestScenariosAxisValidatesSpecs(t *testing.T) {
+	if _, err := Scenarios("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Scenarios("partition"); err == nil {
+		t.Fatal("partition without region set accepted")
+	}
+	if _, err := Scenarios("churn:interval=banana"); err == nil {
+		t.Fatal("malformed parameter accepted")
+	}
+}
+
+func TestScenarioAxisExpandsIntoMatrix(t *testing.T) {
+	ax, err := Scenarios("none", "eclipse:node=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Matrix{Base: core.QuickConfig(), Seeds: Seeds(1, 2), Axes: []Axis{ax}}
+	runs, err := m.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(runs))
+	}
+	if runs[0].Scenario != "scenario=none" || runs[2].Scenario != "scenario=eclipse:node=3" {
+		t.Errorf("scenario labels = %q, %q", runs[0].Scenario, runs[2].Scenario)
+	}
+	if len(runs[2].Config.Scenarios) != 1 {
+		t.Error("expanded run lost its scenario spec")
+	}
+}
