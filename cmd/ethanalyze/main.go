@@ -66,6 +66,8 @@ func run(args []string) error {
 	networkSize := 0
 	redundancyVantage := ""
 	var scenarioTags []string
+	protocolTag := ""
+	var builder logs.ChainBuilder
 	if first.Kind == logs.KindMeta && first.Meta != nil {
 		meta := first.Meta
 		dataset.Vantages = meta.Vantages
@@ -75,6 +77,17 @@ func run(args []string) error {
 		networkSize = meta.NetworkSize
 		redundancyVantage = meta.RedundancyVantage
 		scenarioTags = meta.Scenarios
+		// Re-analysis applies the original campaign's consensus rules
+		// (protocol-less logs predate pluggable consensus: ethereum).
+		proto, err := logs.ProtocolFromMeta(meta)
+		if err != nil {
+			return err
+		}
+		builder.Protocol = proto
+		protocolTag = proto.Name()
+		if meta.Protocol != "" {
+			protocolTag = meta.Protocol
+		}
 	} else {
 		// Legacy log without metadata: a cheap prescan collects the
 		// vantage roster (records are decoded but never retained), then
@@ -101,7 +114,6 @@ func run(args []string) error {
 	// One streaming pass: records fold into the collector, chain
 	// entries rebuild the registry incrementally.
 	collector := analysis.NewCollector(dataset, redundancyVantage)
-	var builder logs.ChainBuilder
 	for {
 		e, err := reader.Next()
 		if err == io.EOF {
@@ -135,6 +147,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("streamed %d block records, %d tx records, %d chain blocks from %s\n",
 		collector.BlockRecords(), collector.TxRecords(), dataset.Chain.Len(), *logPath)
+	if protocolTag != "" {
+		fmt.Printf("consensus protocol: %s\n", protocolTag)
+	}
 	if len(scenarioTags) > 0 {
 		fmt.Printf("campaign scenarios: %s\n", strings.Join(scenarioTags, "; "))
 	}

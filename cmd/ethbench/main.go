@@ -14,7 +14,10 @@
 // allocs/event, events/sec, peak heap) and the analysis phase
 // (records/sec, ns/record, wall, peak heap during analysis — the
 // streaming record pipeline's cost) for a fixed-seed run, plus a
-// scheduler microbenchmark (ns/op, allocs/op) via testing.Benchmark.
+// scheduler microbenchmark and two chain protocol-dispatch
+// microbenchmarks (per-import fork choice, uncle-candidate sweep —
+// the hot paths that call through the consensus.Protocol interface)
+// via testing.Benchmark.
 // Campaigns run in bounded-memory mode by default (-retain restores
 // record retention, for before/after comparisons of the two modes).
 // Regression checks compare ns_per_event, ns_per_op, analysis
@@ -37,10 +40,13 @@ import (
 	"testing"
 	"time"
 
+	"ethmeasure/internal/chain"
 	"ethmeasure/internal/cliutil"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/sim"
+	"ethmeasure/internal/types"
 )
 
 // Entry is one benchmark measurement. Campaign entries fill every
@@ -189,9 +195,10 @@ func (hs *heapSampler) Stop() uint64 {
 	return hs.peak.Load()
 }
 
-func runCampaignEntry(s scale, retain bool, vantagePeers int, scens []scenario.Spec, w io.Writer) (Entry, error) {
+func runCampaignEntry(s scale, retain bool, vantagePeers int, proto consensus.Spec, scens []scenario.Spec, w io.Writer) (Entry, error) {
 	cfg := campaignConfig(s, 1, vantagePeers)
 	cfg.RetainRecords = retain
+	cfg.Protocol = proto
 	cfg.Scenarios = scens
 	campaign, err := core.NewCampaign(cfg)
 	if err != nil {
@@ -200,6 +207,11 @@ func runCampaignEntry(s scale, retain bool, vantagePeers int, scens []scenario.S
 	name := fmt.Sprintf("campaign/%d", s.nodes)
 	if retain {
 		name += "/retain"
+	}
+	if tag := cfg.ProtocolTag(); tag != consensus.DefaultName {
+		// Non-default-protocol entries are named apart so they never
+		// gate against (or pollute) the ethereum baseline.
+		name += "/protocol:" + tag
 	}
 	for _, tag := range campaign.ScenarioTags() {
 		// Scenario-composed entries are named apart so they never gate
@@ -312,6 +324,85 @@ func engineEntry(w io.Writer) Entry {
 	return e
 }
 
+// chainDispatchEntries microbenchmarks the chain/mining hot paths that
+// now dispatch through the consensus.Protocol interface: the per-node
+// block import (fork choice) and the miner's uncle-candidate sweep
+// (reference validity). These mirror BenchmarkViewImport and
+// BenchmarkUncleCandidates in internal/chain, and gate the dispatch
+// cost of the pluggable-protocol refactor against the pre-refactor
+// baseline.
+func chainDispatchEntries(w io.Writer) []Entry {
+	// A fixed-length chain keeps the per-import cost independent of
+	// b.N (a b.N-sized chain would make ns/op drift with the iteration
+	// count the harness happens to pick): the loop imports the same
+	// 4096 blocks into a fresh view every cycle, amortizing the view
+	// construction across the cycle.
+	const chainLen = 4096
+	runtime.GC()
+	importRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		issuer := types.NewHashIssuer(1)
+		reg := chain.NewRegistry(0, issuer)
+		parent := reg.Genesis()
+		blocks := make([]*types.Block, chainLen)
+		for i := range blocks {
+			blk := &types.Block{
+				Hash:       issuer.Next(),
+				Number:     parent.Number + 1,
+				ParentHash: parent.Hash,
+				Miner:      1,
+			}
+			if err := reg.Add(blk); err != nil {
+				b.Fatal(err)
+			}
+			blocks[i] = blk
+			parent = blk
+		}
+		var v *chain.View
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % chainLen
+			if j == 0 {
+				v = chain.NewView(reg)
+			}
+			v.Import(blocks[j])
+		}
+	})
+	runtime.GC()
+	unclesRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		issuer := types.NewHashIssuer(1)
+		reg := chain.NewRegistry(0, issuer)
+		v := chain.NewView(reg)
+		parent := reg.Genesis()
+		for i := 0; i < 64; i++ {
+			blk := &types.Block{Hash: issuer.Next(), Number: parent.Number + 1, ParentHash: parent.Hash, Miner: 1}
+			if err := reg.Add(blk); err != nil {
+				b.Fatal(err)
+			}
+			v.Import(blk)
+			sib := &types.Block{Hash: issuer.Next(), Number: parent.Number + 1, ParentHash: parent.Hash, Miner: 2}
+			if err := reg.Add(sib); err != nil {
+				b.Fatal(err)
+			}
+			v.Import(sib)
+			parent = blk
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.UncleCandidates(2)
+		}
+	})
+	entries := []Entry{
+		{Name: "chain/viewimport", NsPerOp: float64(importRes.NsPerOp()), AllocsPerOp: float64(importRes.AllocsPerOp())},
+		{Name: "chain/unclecandidates", NsPerOp: float64(unclesRes.NsPerOp()), AllocsPerOp: float64(unclesRes.AllocsPerOp())},
+	}
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-22s %9.1f ns/op    %8.3f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+	return entries
+}
+
 // compare checks fresh entries against a baseline report. ns and
 // allocs may regress by at most threshold (fractionally); allocs get a
 // small absolute epsilon so a 0-alloc baseline does not flag noise.
@@ -399,10 +490,23 @@ func run(args []string, w io.Writer) error {
 	retain := fs.Bool("retain", false, "run campaigns with raw-record retention (batch-compatible mode) instead of the bounded-memory default")
 	bothModes := fs.Bool("both-modes", false, "run every scale in bounded AND retained modes (before/after memory comparison)")
 	vantagePeers := fs.Int("vantage-peers", 0, "re-peer primary vantages with this many nodes (0 = default 50 cap); raises record volume for analysis-phase benchmarks")
+	skipDispatch := fs.Bool("skip-dispatch", false, "skip the chain protocol-dispatch microbenchmarks")
+	protocol := fs.String("protocol", "", "consensus protocol for the benchmark campaigns: name[:key=val,...] (default ethereum; non-default entries are name-suffixed)")
 	var scenFlags cliutil.StringList
 	fs.Var(&scenFlags, "scenario", "compose a scenario into the benchmark campaign: name[:key=val,...] (repeatable; measures a scenario's perf cost)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var proto consensus.Spec
+	if *protocol != "" {
+		spec, err := consensus.Parse(*protocol)
+		if err != nil {
+			return err
+		}
+		if err := consensus.Validate(spec); err != nil {
+			return err
+		}
+		proto = spec
 	}
 	var scens []scenario.Spec
 	for _, raw := range scenFlags {
@@ -429,13 +533,16 @@ func run(args []string, w io.Writer) error {
 	if !*skipEngine {
 		report.Entries = append(report.Entries, engineEntry(w))
 	}
+	if !*skipDispatch {
+		report.Entries = append(report.Entries, chainDispatchEntries(w)...)
+	}
 	for _, s := range scales {
 		modes := []bool{*retain}
 		if *bothModes {
 			modes = []bool{false, true}
 		}
 		for _, mode := range modes {
-			entry, err := runCampaignEntry(s, mode, *vantagePeers, scens, w)
+			entry, err := runCampaignEntry(s, mode, *vantagePeers, proto, scens, w)
 			if err != nil {
 				return err
 			}

@@ -7,6 +7,7 @@
 //
 //	ethmeasure [-preset quick|default|paper] [-seed N] [-duration D]
 //	           [-nodes N] [-txrate R] [-print-infra] [-logs PATH]
+//	           [-protocol name[:key=val,...]]
 package main
 
 import (
@@ -41,6 +42,7 @@ func run(args []string) error {
 		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
 		printInfra = fs.Bool("print-infra", false, "print Table I (infrastructure) and exit")
 		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this JSONL file")
+		protocol   = fs.String("protocol", "", "consensus protocol: name[:key=val,...] (default ethereum; see ethsim -list-protocols)")
 		scens      cliutil.StringList
 	)
 	fs.Var(&scens, "scenario", "compose a scenario: name[:key=val,...] (repeatable; see ethsim -list-scenarios)")
@@ -78,6 +80,13 @@ func run(args []string) error {
 	if *noTx {
 		cfg.EnableTxWorkload = false
 	}
+	if *protocol != "" {
+		spec, err := ethmeasure.ParseProtocol(*protocol)
+		if err != nil {
+			return err
+		}
+		cfg.Protocol = spec
+	}
 	for _, raw := range scens {
 		spec, err := ethmeasure.ParseScenario(raw)
 		if err != nil {
@@ -90,8 +99,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("running %s campaign: %d nodes, %v virtual time, seed %d\n",
-		*preset, cfg.NumNodes, cfg.Duration, cfg.Seed)
+	fmt.Printf("running %s campaign: %d nodes, %v virtual time, seed %d, protocol %s\n",
+		*preset, cfg.NumNodes, cfg.Duration, cfg.Seed, cfg.ProtocolTag())
 	if tags := campaign.ScenarioTags(); len(tags) > 0 {
 		fmt.Printf("scenarios: %s\n", strings.Join(tags, "; "))
 	}

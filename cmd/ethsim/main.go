@@ -7,12 +7,19 @@
 //
 //	ethsim -out logs.jsonl [-preset quick|default|paper] [-seed N]
 //	       [-duration D] [-nodes N] [-no-tx] [-stream]
+//	       [-protocol name[:key=val,...]]
 //	       [-scenario name[:key=val,...]]...
 //	ethsim -list-scenarios
+//	ethsim -list-protocols
 //
 // With -stream the campaign runs in bounded-memory mode: records spill
 // straight to the output file as they are produced instead of
 // accumulating in RAM first — the mode for paper-scale durations.
+//
+// -protocol selects the consensus rule set the chain runs under
+// (fork choice, uncle policy, reward schedule): "ethereum" (default),
+// "bitcoin", "ghost-inclusive", with optional parameters. Run
+// -list-protocols for the catalog.
 //
 // -scenario (repeatable) composes a registered intervention into the
 // campaign: a regional partition, a relay overlay, an eclipse attack,
@@ -28,6 +35,7 @@ import (
 
 	"ethmeasure"
 	"ethmeasure/internal/cliutil"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/scenario"
 )
 
@@ -41,15 +49,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ethsim", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "", "output JSONL file (required)")
-		preset    = fs.String("preset", "quick", "configuration preset: quick | default | paper")
-		seed      = fs.Int64("seed", 1, "simulation seed")
-		duration  = fs.Duration("duration", 0, "override virtual campaign duration")
-		nodes     = fs.Int("nodes", 0, "override regular node count")
-		noTx      = fs.Bool("no-tx", false, "disable the transaction workload")
-		stream    = fs.Bool("stream", false, "bounded-memory mode: spill records to -out during the run instead of retaining them")
-		listScens = fs.Bool("list-scenarios", false, "print the scenario catalog and exit")
-		scens     cliutil.StringList
+		out        = fs.String("out", "", "output JSONL file (required)")
+		preset     = fs.String("preset", "quick", "configuration preset: quick | default | paper")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		duration   = fs.Duration("duration", 0, "override virtual campaign duration")
+		nodes      = fs.Int("nodes", 0, "override regular node count")
+		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
+		stream     = fs.Bool("stream", false, "bounded-memory mode: spill records to -out during the run instead of retaining them")
+		listScens  = fs.Bool("list-scenarios", false, "print the scenario catalog and exit")
+		listProtos = fs.Bool("list-protocols", false, "print the consensus-protocol catalog and exit")
+		protocol   = fs.String("protocol", "", "consensus protocol: name[:key=val,...] (default ethereum; see -list-protocols)")
+		scens      cliutil.StringList
 	)
 	fs.Var(&scens, "scenario", "compose a scenario: name[:key=val,...] (repeatable; see -list-scenarios)")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +67,10 @@ func run(args []string) error {
 	}
 	if *listScens {
 		printScenarioCatalog(os.Stdout)
+		return nil
+	}
+	if *listProtos {
+		printProtocolCatalog(os.Stdout)
 		return nil
 	}
 	if *out == "" {
@@ -88,6 +102,13 @@ func run(args []string) error {
 		cfg.RetainRecords = false
 		cfg.SpillPath = *out
 	}
+	if *protocol != "" {
+		spec, err := ethmeasure.ParseProtocol(*protocol)
+		if err != nil {
+			return err
+		}
+		cfg.Protocol = spec
+	}
 	for _, raw := range scens {
 		spec, err := ethmeasure.ParseScenario(raw)
 		if err != nil {
@@ -100,7 +121,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("simulating %v over %d nodes (seed %d)...\n", cfg.Duration, cfg.NumNodes, cfg.Seed)
+	fmt.Printf("simulating %v over %d nodes (seed %d, protocol %s)...\n",
+		cfg.Duration, cfg.NumNodes, cfg.Seed, cfg.ProtocolTag())
 	if tags := campaign.ScenarioTags(); len(tags) > 0 {
 		fmt.Printf("scenarios: %s\n", strings.Join(tags, "; "))
 	}
@@ -136,5 +158,15 @@ func printScenarioCatalog(w *os.File) {
 	for _, reg := range scenario.Catalog() {
 		fmt.Fprintf(w, "  %-14s %s\n", reg.Name, reg.Desc)
 		fmt.Fprintf(w, "  %-14s usage: %s\n", "", reg.Usage)
+	}
+}
+
+// printProtocolCatalog renders the registry for -list-protocols.
+func printProtocolCatalog(w *os.File) {
+	fmt.Fprintln(w, "Registered consensus protocols (select with -protocol name[:key=val,...]):")
+	fmt.Fprintln(w)
+	for _, reg := range consensus.Catalog() {
+		fmt.Fprintf(w, "  %-16s %s\n", reg.Name, reg.Desc)
+		fmt.Fprintf(w, "  %-16s usage: %s\n", "", reg.Usage)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ethmeasure/internal/logs"
+	"ethmeasure/internal/types"
 )
 
 func TestRunRequiresOut(t *testing.T) {
@@ -110,4 +111,50 @@ func TestRunWithScenarioWritesTaggedLogs(t *testing.T) {
 	if len(c.Meta.Scenarios) != 2 || c.Meta.Scenarios[0] != want[0] || c.Meta.Scenarios[1] != want[1] {
 		t.Errorf("log meta scenarios = %v, want %v", c.Meta.Scenarios, want)
 	}
+}
+
+func TestListProtocols(t *testing.T) {
+	// -list-protocols needs no -out and must not simulate anything.
+	if err := run([]string{"-list-protocols"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadProtocol(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.jsonl")
+	for _, spec := range []string{"no-such", "bitcoin:reward=-1", "ghost-inclusive:depth=oops"} {
+		if err := run([]string{"-out", out, "-protocol", spec}); err == nil {
+			t.Errorf("-protocol %q accepted", spec)
+		}
+	}
+}
+
+func TestRunWithProtocolWritesTaggedLogs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bitcoin.jsonl")
+	err := run([]string{
+		"-out", out, "-preset", "quick",
+		"-duration", "5m", "-nodes", "60", "-no-tx", "-seed", "3",
+		"-protocol", "bitcoin",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := logs.ReadCampaignFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta.Protocol != "bitcoin" {
+		t.Errorf("log meta protocol = %q, want bitcoin", c.Meta.Protocol)
+	}
+	// The rebuilt registry applies the logged protocol and the chain
+	// carries no uncle references.
+	if got := c.Chain.Protocol().Name(); got != "bitcoin" {
+		t.Errorf("rebuilt registry protocol = %q", got)
+	}
+	c.Chain.Blocks(func(b *types.Block) bool {
+		if len(b.Uncles) != 0 {
+			t.Errorf("block %s carries uncles under bitcoin", b.Hash)
+		}
+		return true
+	})
 }

@@ -9,6 +9,7 @@
 //
 //	ethsweep [-preset quick|default|paper] [-seeds N] [-seed BASE]
 //	         [-vary axis=v1,v2,...]... [-scenarios spec;spec;...]
+//	         [-protocols spec;spec;...]
 //	         [-workers N] [-json PATH]
 //	         [-duration D] [-nodes N] [-no-tx] [-quiet]
 //
@@ -27,11 +28,17 @@
 // ("name[:key=val,...]", see ethsim -list-scenarios for the catalog),
 // each sweeping as its own variant; "none" is the unmodified base.
 //
+// -protocols adds a consensus-protocol axis: semicolon-separated
+// protocol specs ("ethereum", "bitcoin", "ghost-inclusive:depth=10",
+// see ethsim -list-protocols), each sweeping as its own variant with
+// per-protocol cross-seed aggregates.
+//
 // Examples:
 //
 //	ethsweep -preset quick -seeds 8 -vary nodes=100,500 -json out.json
 //	ethsweep -preset quick -seeds 8 \
 //	    -scenarios "none;partition:a=EA+SEA,start=5m,dur=10m;relayoverlay"
+//	ethsweep -preset quick -seeds 8 -protocols "ethereum;bitcoin"
 package main
 
 import (
@@ -70,6 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		noTx     = fs.Bool("no-tx", false, "disable the transaction workload")
 		quiet    = fs.Bool("quiet", false, "suppress per-run progress on stderr")
 		scens    = fs.String("scenarios", "", "scenario axis: semicolon-separated specs (name[:key=val,...]; 'none' = base)")
+		protos   = fs.String("protocols", "", "consensus-protocol axis: semicolon-separated specs (ethereum;bitcoin;...)")
 		vary     cliutil.StringList
 	)
 	fs.Var(&vary, "vary", "axis=v1,v2,... (repeatable; axes: nodes, discovery, pools, churn, txrate, duration)")
@@ -114,6 +122,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *scens != "" {
 		axis, err := sweep.Scenarios(strings.Split(*scens, ";")...)
+		if err != nil {
+			return err
+		}
+		matrix.Axes = append(matrix.Axes, axis)
+	}
+	if *protos != "" {
+		axis, err := sweep.Protocols(strings.Split(*protos, ";")...)
 		if err != nil {
 			return err
 		}

@@ -179,3 +179,74 @@ func TestRunTinyScenarioSweep(t *testing.T) {
 		t.Errorf("scenario metric not aggregated: %s", data)
 	}
 }
+
+func TestRunRejectsBadProtocols(t *testing.T) {
+	var buf bytes.Buffer
+	for _, spec := range []string{"no-such", "ethereum;tendermint", "ghost-inclusive:decay=5"} {
+		if err := run([]string{"-preset", "quick", "-seeds", "1", "-protocols", spec}, &buf); err == nil {
+			t.Errorf("-protocols %q accepted", spec)
+		}
+	}
+}
+
+func TestRunTinyProtocolSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "agg.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "quick", "-duration", "2m", "-nodes", "45", "-no-tx",
+		"-seeds", "2", "-quiet", "-json", jsonPath,
+		"-protocols", "ethereum;bitcoin",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4 runs", "scenario protocol=ethereum", "scenario protocol=bitcoin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Scenarios []struct {
+			Scenario string `json:"scenario"`
+			Metrics  []struct {
+				Metric string `json:"metric"`
+			} `json:"metrics"`
+		} `json:"scenarios"`
+		Failed int `json:"failed"`
+	}
+	if err := json.Unmarshal(data, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Failed != 0 || len(agg.Scenarios) != 2 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	// The bitcoin variant must aggregate without uncle metrics.
+	for _, sc := range agg.Scenarios {
+		hasUncle := false
+		for _, m := range sc.Metrics {
+			if m.Metric == "fork_recognized_share" {
+				hasUncle = true
+			}
+		}
+		switch sc.Scenario {
+		case "protocol=ethereum":
+			if !hasUncle {
+				t.Error("ethereum aggregate lacks fork_recognized_share")
+			}
+		case "protocol=bitcoin":
+			if hasUncle {
+				t.Error("bitcoin aggregate carries fork_recognized_share")
+			}
+		default:
+			t.Errorf("unexpected scenario %q", sc.Scenario)
+		}
+	}
+}

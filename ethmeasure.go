@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/geo"
 	"ethmeasure/internal/measure"
@@ -244,6 +245,30 @@ func ScenarioCatalog() []ScenarioRegistration { return scenario.Catalog() }
 // SweepScenarios varies the composed scenario list across a sweep:
 // each spec string is one variant ("none" = the unmodified base).
 func SweepScenarios(specs ...string) (SweepAxis, error) { return sweep.Scenarios(specs...) }
+
+// Consensus-protocol types: the pluggable rule set a campaign's chain
+// runs under (see internal/consensus for the catalog: ethereum,
+// bitcoin, ghost-inclusive).
+type (
+	// Protocol bundles fork choice, reference (uncle) policy, reward
+	// schedule and target interval.
+	Protocol = consensus.Protocol
+	// ProtocolSpec names one protocol plus its parameters; textual
+	// form "name[:key=val,...]". The zero value means ethereum.
+	ProtocolSpec = consensus.Spec
+	// ProtocolRegistration describes one catalog entry.
+	ProtocolRegistration = consensus.Registration
+)
+
+// ParseProtocol reads a protocol spec from "name[:key=val,...]".
+func ParseProtocol(s string) (ProtocolSpec, error) { return consensus.Parse(s) }
+
+// ProtocolCatalog returns every registered protocol, sorted by name.
+func ProtocolCatalog() []ProtocolRegistration { return consensus.Catalog() }
+
+// SweepProtocols varies the consensus rule set across a sweep: each
+// spec string is one variant.
+func SweepProtocols(specs ...string) (SweepAxis, error) { return sweep.Protocols(specs...) }
 
 // WriteReport renders every available analysis in results to w in the
 // order the paper presents them.

@@ -23,6 +23,14 @@ type ForkLengthRow struct {
 type ForksResult struct {
 	Rows []ForkLengthRow // ascending by length
 
+	// References reports whether the chain's consensus protocol pays
+	// referenced (uncle) side blocks at all. When false — Bitcoin-style
+	// rules — the recognized/unrecognized split is structurally empty:
+	// every side block is unrecognized, and the uncle-share metric is
+	// withheld from KeyMetrics so cross-protocol sweeps aggregate only
+	// what each protocol actually produces.
+	References bool
+
 	TotalBlocks       int // all captured blocks (excluding genesis)
 	MainBlocks        int
 	RecognizedUncles  int
@@ -41,7 +49,7 @@ func Forks(d *Dataset) *ForksResult {
 	uncleRefs := reg.UncleRefs()
 	genesis := reg.Genesis().Hash
 
-	res := &ForksResult{}
+	res := &ForksResult{References: reg.Protocol().MaxReferencesPerBlock() > 0}
 	sideRoots := make([]types.Hash, 0, 64)
 	reg.Blocks(func(b *types.Block) bool {
 		if b.Hash == genesis {

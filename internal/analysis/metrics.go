@@ -24,6 +24,14 @@ const (
 
 	MetricInterBlockMeanSec = "interblock_mean_sec"
 	MetricSidePowerShare    = "side_power_share"
+
+	// Reward metrics are denominated in the consensus protocol's native
+	// coin units; protocol-conditional entries (the uncle share) appear
+	// only when the protocol pays references, so cross-protocol sweeps
+	// aggregate only the metrics each run actually produced.
+	MetricRewardTotalCoin   = "reward_total_coin"
+	MetricRewardUncleShare  = "reward_uncle_share"
+	MetricRewardWastedShare = "reward_wasted_share"
 )
 
 // KeyMetrics flattens the headline scalar figures of one campaign into
@@ -64,16 +72,37 @@ func (r *PropagationResult) KeyMetrics() KeyMetrics {
 }
 
 // KeyMetrics extracts the Table III block-partition shares. The fork
-// rate is the share of blocks that did not make the main chain.
+// rate is the share of blocks that did not make the main chain. The
+// recognized-uncle share is protocol-conditional: protocols without
+// references contribute no entry rather than a structural zero.
 func (r *ForksResult) KeyMetrics() KeyMetrics {
 	if r == nil || r.TotalBlocks == 0 {
 		return nil
 	}
-	return KeyMetrics{
-		MetricForkRate:       1 - r.MainShare,
-		MetricForkMainShare:  r.MainShare,
-		MetricForkUncleShare: r.RecognizedShare,
+	m := KeyMetrics{
+		MetricForkRate:      1 - r.MainShare,
+		MetricForkMainShare: r.MainShare,
 	}
+	if r.References {
+		m[MetricForkUncleShare] = r.RecognizedShare
+	}
+	return m
+}
+
+// KeyMetrics extracts the §V reward-flow headline scalars. The uncle
+// share is protocol-conditional, like the fork classifier's.
+func (r *RewardsResult) KeyMetrics() KeyMetrics {
+	if r == nil || r.TotalETH == 0 {
+		return nil
+	}
+	m := KeyMetrics{
+		MetricRewardTotalCoin:   r.TotalETH,
+		MetricRewardWastedShare: r.WastedShare,
+	}
+	if r.References {
+		m[MetricRewardUncleShare] = r.UncleETH / r.TotalETH
+	}
+	return m
 }
 
 // KeyMetrics extracts the §III-C5 one-miner-fork share of all forks.

@@ -52,13 +52,35 @@ func TestKeyMetricsExtraction(t *testing.T) {
 		t.Errorf("propagation metrics = %v", m)
 	}
 
-	forks := &ForksResult{TotalBlocks: 100, MainShare: 0.9281, RecognizedShare: 0.05}
+	forks := &ForksResult{References: true, TotalBlocks: 100, MainShare: 0.9281, RecognizedShare: 0.05}
 	fm := forks.KeyMetrics()
 	if fm[MetricForkMainShare] != 0.9281 || fm[MetricForkUncleShare] != 0.05 {
 		t.Errorf("fork metrics = %v", fm)
 	}
 	if got := fm[MetricForkRate]; got < 0.0718 || got > 0.072 {
 		t.Errorf("fork rate = %v", got)
+	}
+
+	// The recognized-uncle share is protocol-conditional: a
+	// no-reference protocol contributes no entry.
+	noRefs := &ForksResult{References: false, TotalBlocks: 100, MainShare: 0.95}
+	if m := noRefs.KeyMetrics(); len(m) != 2 {
+		t.Errorf("no-reference fork metrics = %v", m)
+	} else if _, ok := m[MetricForkUncleShare]; ok {
+		t.Errorf("no-reference protocol emitted %s", MetricForkUncleShare)
+	}
+
+	rewards := &RewardsResult{References: true, TotalETH: 200, UncleETH: 10, WastedShare: 0.01}
+	rm := rewards.KeyMetrics()
+	if rm[MetricRewardTotalCoin] != 200 || rm[MetricRewardUncleShare] != 0.05 || rm[MetricRewardWastedShare] != 0.01 {
+		t.Errorf("reward metrics = %v", rm)
+	}
+	btc := &RewardsResult{References: false, TotalETH: 100, WastedShare: 0.02}
+	if m := btc.KeyMetrics(); len(m) != 2 {
+		t.Errorf("no-reference reward metrics = %v", m)
+	}
+	if m := (*RewardsResult)(nil).KeyMetrics(); m != nil {
+		t.Errorf("nil rewards produced %v", m)
 	}
 }
 

@@ -3,26 +3,31 @@ package analysis
 import (
 	"sort"
 
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/types"
 )
 
 // Ethereum reward constants for the Constantinople era the paper
 // measured (EIP-1234), in ETH.
+//
+// Deprecated: these are the ethereum protocol's parameters, kept for
+// callers that predate pluggable consensus. Protocol-generic code
+// reads the schedule from consensus.Protocol instead.
 const (
 	// BlockRewardETH is the static reward per main-chain block.
-	BlockRewardETH = 2.0
+	BlockRewardETH = consensus.EthereumBlockReward
 	// NephewRewardETH is paid per uncle referenced (1/32 of the block
 	// reward).
-	NephewRewardETH = BlockRewardETH / 32
+	NephewRewardETH = consensus.EthereumNephewReward
 )
 
 // UncleRewardETH computes the reward of an uncle at depth d =
 // includingHeight − uncleHeight: (8 − d) / 8 × block reward.
+//
+// Deprecated: this is the ethereum protocol's schedule; use
+// Protocol.ReferenceReward for protocol-generic code.
 func UncleRewardETH(d uint64) float64 {
-	if d < 1 || d > 7 {
-		return 0
-	}
-	return float64(8-d) / 8 * BlockRewardETH
+	return consensus.Ethereum().ReferenceReward(d)
 }
 
 // PoolRewardRow aggregates one pool's earnings.
@@ -45,11 +50,20 @@ type PoolRewardRow struct {
 	SiblingUncleETH float64
 }
 
-// RewardsResult quantifies the reward flow of a run, including how
-// much the uncle mechanism pays pools for one-miner forks — the paper
-// §V argument that the uncle system, meant to help small miners,
-// instead lets large pools "unethically profit from multiple rewards".
+// RewardsResult quantifies the reward flow of a run under the chain's
+// consensus protocol, including how much the reference (uncle)
+// mechanism pays pools for one-miner forks — the paper §V argument
+// that the uncle system, meant to help small miners, instead lets
+// large pools "unethically profit from multiple rewards". The *ETH
+// fields are denominated in the protocol's native coin units.
 type RewardsResult struct {
+	// Protocol names the consensus protocol the schedule came from.
+	Protocol string
+	// References reports whether the protocol pays referenced side
+	// blocks at all (false for Bitcoin-style rules, where every fork
+	// loser is pure waste).
+	References bool
+
 	Rows []PoolRewardRow // descending by total reward
 
 	TotalETH        float64
@@ -63,9 +77,11 @@ type RewardsResult struct {
 	WastedShare  float64 // of all non-genesis blocks
 }
 
-// Rewards computes per-pool reward accounting from the registry.
+// Rewards computes per-pool reward accounting from the registry,
+// applying the registry protocol's reward schedule.
 func Rewards(d *Dataset) *RewardsResult {
 	reg := d.Chain
+	proto := reg.Protocol()
 	mainSet := reg.MainChainSet()
 	genesis := reg.Genesis().Hash
 
@@ -79,7 +95,10 @@ func Rewards(d *Dataset) *RewardsResult {
 		return r
 	}
 
-	res := &RewardsResult{}
+	res := &RewardsResult{
+		Protocol:   proto.Name(),
+		References: proto.MaxReferencesPerBlock() > 0,
+	}
 	rewarded := make(map[types.Hash]bool)
 
 	// Pass 1: main-chain blocks pay block + nephew rewards and assign
@@ -97,7 +116,7 @@ func Rewards(d *Dataset) *RewardsResult {
 		}
 		r := row(b.Miner)
 		r.MainBlocks++
-		r.BlockRewardETH += BlockRewardETH
+		r.BlockRewardETH += proto.BlockReward()
 		for _, uncleHash := range b.Uncles {
 			uncle, ok := reg.Get(uncleHash)
 			if !ok {
@@ -105,10 +124,10 @@ func Rewards(d *Dataset) *RewardsResult {
 			}
 			rewarded[uncleHash] = true
 			r.UnclesCited++
-			r.NephewRewardETH += NephewRewardETH
+			r.NephewRewardETH += proto.NephewReward()
 			ur := row(uncle.Miner)
 			ur.UncleBlocks++
-			reward := UncleRewardETH(b.Number - uncle.Number)
+			reward := proto.ReferenceReward(b.Number - uncle.Number)
 			ur.UncleRewardETH += reward
 			res.UncleETH += reward
 			// One-miner fork profit: the uncle's miner also mined the

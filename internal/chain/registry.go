@@ -1,24 +1,34 @@
 // Package chain implements the blockchain substrate: a global registry
-// of every block produced during a run, per-node chain views with
-// Ethereum's fork-choice and uncle-validity rules, reward accounting,
-// and the fork classifier behind the paper's Table III and the
-// one-miner-fork analysis (§III-C4, §III-C5).
+// of every block produced during a run, per-node chain views applying
+// the configured consensus protocol's fork-choice and
+// reference-validity rules (internal/consensus; Ethereum by default),
+// and the substrate behind the paper's Table III fork classifier and
+// the one-miner-fork analysis (§III-C4, §III-C5).
 package chain
 
 import (
 	"fmt"
 	"sort"
 
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/types"
 )
 
 // MaxUncleDepth is how many generations back an uncle's parent may sit
 // relative to the including block (Ethereum: uncle.number ≥
 // block.number − 6, i.e. "within 7 generations").
-const MaxUncleDepth = 6
+//
+// Deprecated: this is the ethereum protocol's parameter, kept for
+// callers that predate pluggable consensus. Code that must work across
+// protocols reads Registry.Protocol().MaxReferenceDepth() instead.
+const MaxUncleDepth = consensus.EthereumUncleDepth
 
 // MaxUnclesPerBlock is Ethereum's cap on uncle references per block.
-const MaxUnclesPerBlock = 2
+//
+// Deprecated: this is the ethereum protocol's parameter, kept for
+// callers that predate pluggable consensus. Code that must work across
+// protocols reads Registry.Protocol().MaxReferencesPerBlock() instead.
+const MaxUnclesPerBlock = consensus.EthereumUnclesPerBlock
 
 // Registry is the global, append-only store of all blocks created in a
 // simulation, including every fork. The analysis pipeline classifies
@@ -30,6 +40,15 @@ type Registry struct {
 	byHeight map[uint64][]types.Hash
 	genesis  *types.Block
 	order    []types.Hash // insertion order, deterministic iteration
+
+	// proto is the consensus rule set the chain runs under: fork
+	// choice, reference (uncle) validity, reward schedule. Ethereum
+	// unless SetProtocol installs another before blocks are added.
+	proto consensus.Protocol
+	// refDepth caches proto.MaxReferenceDepth() — protocol parameters
+	// are immutable, and ValidUncle sits on the miner's uncle-sweep
+	// hot path where a per-call interface dispatch is measurable.
+	refDepth uint64
 }
 
 // NewRegistry creates a registry seeded with a genesis block at the
@@ -54,9 +73,29 @@ func NewRegistryWithGenesis(genesisNumber uint64, genesisHash types.Hash) *Regis
 		children: make(map[types.Hash][]types.Hash, 1024),
 		byHeight: make(map[uint64][]types.Hash, 1024),
 		genesis:  g,
+		proto:    consensus.Ethereum(),
+		refDepth: consensus.EthereumUncleDepth,
 	}
 	r.insert(g)
 	return r
+}
+
+// Protocol returns the consensus rule set the chain runs under.
+func (r *Registry) Protocol() consensus.Protocol { return r.proto }
+
+// SetProtocol installs a consensus protocol. It must be called before
+// any block beyond genesis is added: views and analyses derive their
+// rules from the registry, and switching rules mid-chain would make
+// fork choice inconsistent.
+func (r *Registry) SetProtocol(p consensus.Protocol) {
+	if p == nil {
+		panic("chain: nil protocol")
+	}
+	if len(r.order) > 1 {
+		panic("chain: SetProtocol after blocks were added")
+	}
+	r.proto = p
+	r.refDepth = p.MaxReferenceDepth()
 }
 
 func (r *Registry) insert(b *types.Block) {
@@ -136,13 +175,13 @@ func (r *Registry) Blocks(fn func(*types.Block) bool) {
 	}
 }
 
-// Head returns the block with the highest total difficulty (ties broken
-// by earliest creation), i.e. the tip of the final main chain.
+// Head returns the tip of the final main chain under the protocol's
+// fork-choice rule (ties broken by earliest creation).
 func (r *Registry) Head() *types.Block {
 	best := r.genesis
 	for _, h := range r.order {
 		b := r.blocks[h]
-		if b.TotalDiff > best.TotalDiff {
+		if r.proto.Prefer(b, best) {
 			best = b
 		}
 	}
@@ -210,26 +249,29 @@ func (r *Registry) UncleRefs() map[types.Hash][]types.Hash {
 	return refs
 }
 
-// ValidUncle checks Ethereum's uncle-validity rules for candidate uncle
-// u referenced from a block that would extend parent:
+// ValidUncle checks the protocol's reference-validity rules for
+// candidate uncle u referenced from a block that would extend parent:
 //
-//  1. u's parent must be an ancestor of the new block within
-//     MaxUncleDepth+1 generations (so u is a "sibling branch" child).
+//  1. u's parent must be an ancestor of the new block within the
+//     protocol's reference window (so u is a "sibling branch" child).
 //  2. u must not itself be an ancestor of the new block.
 //  3. u must not already be referenced as an uncle in the ancestor
 //     window.
 //
-// This is the rule that makes forks of length ≥ 2 unrecognizable as
-// uncles (their parents are side-chain blocks, not ancestors), exactly
-// as the paper observes in Table III.
+// Under Ethereum's 6-generation window this is the rule that makes
+// forks of length ≥ 2 unrecognizable as uncles (their parents are
+// side-chain blocks, not ancestors), exactly as the paper observes in
+// Table III. Protocols without references (MaxReferenceDepth 0) accept
+// no uncle at all.
 func (r *Registry) ValidUncle(u *types.Block, parent *types.Block) bool {
+	window := r.refDepth
 	newNumber := parent.Number + 1
-	if u.Number >= newNumber || newNumber-u.Number > MaxUncleDepth {
+	if u.Number >= newNumber || newNumber-u.Number > window {
 		return false
 	}
 	// Walk the ancestor window once, collecting ancestors and used uncles.
 	cur := parent
-	for depth := 0; depth <= MaxUncleDepth; depth++ {
+	for depth := uint64(0); depth <= window; depth++ {
 		if cur.Hash == u.Hash {
 			return false // u is an ancestor, not an uncle
 		}

@@ -1,39 +1,55 @@
 package chain
 
 import (
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/types"
 )
 
 // View is one node's live view of the blockchain: which blocks it has
-// imported, its current head under the fork-choice rule, and the
-// side-chain blocks it could reference as uncles when mining.
+// imported, its current head under the protocol's fork-choice rule,
+// and the side-chain blocks it could reference as uncles when mining.
 //
 // Views hold per-node state only; block bodies live once in the shared
 // Registry. Old entries are pruned beyond a height window to keep
 // memory proportional to network size rather than chain length.
 type View struct {
 	reg      *Registry
+	proto    consensus.Protocol // copied from reg: Import is the hot path
+	refDepth uint64             // cached proto.MaxReferenceDepth()
 	known    map[types.Hash]bool
 	byHeight map[uint64][]types.Hash
 	head     *types.Block
 	minKept  uint64 // lowest height still tracked in byHeight/known
 
 	// pruneWindow controls how far behind the head block metadata is
-	// retained. It must exceed MaxUncleDepth and the longest plausible
-	// reorg; gossip only concerns recent blocks.
+	// retained. It must exceed the protocol's reference window and the
+	// longest plausible reorg; gossip only concerns recent blocks.
 	pruneWindow uint64
 }
 
-// NewView creates a view anchored at the registry's genesis.
+// NewView creates a view anchored at the registry's genesis, applying
+// the registry's consensus protocol.
 func NewView(reg *Registry) *View {
 	g := reg.Genesis()
+	refDepth := reg.Protocol().MaxReferenceDepth()
+	// The retention window must exceed the protocol's reference window,
+	// or deep uncle candidates would be pruned before they could ever
+	// be referenced (silently shrinking a ghost-inclusive depth=200 run
+	// to the prune horizon). Double the reference depth keeps headroom
+	// for reorgs on top of the deepest possible reference.
+	pruneWindow := uint64(128)
+	if refDepth*2 > pruneWindow {
+		pruneWindow = refDepth * 2
+	}
 	v := &View{
 		reg:         reg,
+		proto:       reg.Protocol(),
+		refDepth:    refDepth,
 		known:       make(map[types.Hash]bool, 64),
 		byHeight:    make(map[uint64][]types.Hash, 64),
 		head:        g,
 		minKept:     g.Number,
-		pruneWindow: 128,
+		pruneWindow: pruneWindow,
 	}
 	v.known[g.Hash] = true
 	v.byHeight[g.Number] = append(v.byHeight[g.Number], g.Hash)
@@ -58,10 +74,10 @@ func (v *View) Knows(h types.Hash) bool {
 	return false
 }
 
-// Import adds a block to the view and applies the fork-choice rule:
-// the head moves to the block with the higher total difficulty; on a
-// tie the incumbent wins (first-seen rule, as in Geth). It reports
-// whether the head changed.
+// Import adds a block to the view and applies the protocol's
+// fork-choice rule: the head moves when the protocol prefers the new
+// block; on a tie the incumbent wins (first-seen rule, as in Geth). It
+// reports whether the head changed.
 func (v *View) Import(b *types.Block) bool {
 	if v.known[b.Hash] {
 		return false
@@ -70,7 +86,7 @@ func (v *View) Import(b *types.Block) bool {
 	if b.Number >= v.minKept {
 		v.byHeight[b.Number] = append(v.byHeight[b.Number], b.Hash)
 	}
-	reorg := b.TotalDiff > v.head.TotalDiff
+	reorg := v.proto.Prefer(b, v.head)
 	if reorg {
 		v.head = b
 		v.prune()
@@ -107,10 +123,11 @@ func (v *View) UncleCandidatesFor(parent *types.Block, max int) []types.Hash {
 	if max <= 0 {
 		return nil
 	}
+	window := v.refDepth
 	newNumber := parent.Number + 1
 	var lo uint64
-	if newNumber > MaxUncleDepth {
-		lo = newNumber - MaxUncleDepth
+	if newNumber > window {
+		lo = newNumber - window
 	}
 	var out []types.Hash
 	for height := lo; height < newNumber && len(out) < max; height++ {

@@ -1,0 +1,300 @@
+// Package consensus defines the pluggable consensus-protocol axis of
+// the simulator: fork choice, block-reference (uncle) policy, reward
+// schedule and target block interval, abstracted behind the Protocol
+// interface so the chain substrate, the mining subsystem and the
+// analysis pipeline share one rule set instead of hard-coding
+// Ethereum's.
+//
+// The paper's headline results — Table III fork classification, uncle
+// rates, pool reward shares — are all downstream of Ethereum's
+// specific rules. Related work studies the same geo/pool questions on
+// protocols with different rules (Bitcoin's no-uncle longest chain,
+// inclusive-GHOST reward sharing), so the protocol is a first-class
+// configuration axis exactly like scenarios: registered by name,
+// addressed by a textual spec ("ghost-inclusive:depth=10,decay=0.5"),
+// sweepable across runs.
+//
+// Protocols must be stateless with respect to individual runs: one
+// instance may serve one campaign, but every method must be a pure
+// function of its arguments and the protocol's own parameters, so the
+// simulation stays deterministic and instances are cheap to build per
+// run.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ethmeasure/internal/types"
+)
+
+// Protocol bundles the consensus rules a simulated chain runs under.
+type Protocol interface {
+	// Name is the registered protocol name ("ethereum", "bitcoin", ...).
+	Name() string
+
+	// Prefer is the fork-choice rule: it reports whether candidate
+	// should replace incumbent as the preferred head. Implementations
+	// must be strict (Prefer(b, b) == false) so the first-seen block
+	// wins ties, matching Geth's behaviour.
+	Prefer(candidate, incumbent *types.Block) bool
+
+	// MaxReferenceDepth is how many generations back a side-chain
+	// block's parent may sit for the block to be referenced (included
+	// as an uncle) by a main-chain block. Zero disables references
+	// entirely — the Bitcoin model, where side blocks are pure waste.
+	MaxReferenceDepth() uint64
+
+	// MaxReferencesPerBlock caps how many references one block carries.
+	// Zero for protocols without references.
+	MaxReferencesPerBlock() int
+
+	// BlockReward is the static subsidy per main-chain block, in the
+	// protocol's native coin units.
+	BlockReward() float64
+
+	// ReferenceReward is the reward paid to the miner of a referenced
+	// (uncle) block at depth d = includingHeight − uncleHeight. Zero
+	// for out-of-window depths and for protocols without references.
+	ReferenceReward(depth uint64) float64
+
+	// NephewReward is the reward paid to the including miner per
+	// reference it carries.
+	NephewReward() float64
+
+	// TargetInterval is the protocol's native mean block interval. The
+	// campaign keeps the configured mining interval by default so
+	// cross-protocol comparisons run at equal block rates; the native
+	// interval applies when the mining interval is left unset.
+	TargetInterval() time.Duration
+}
+
+// Spec names one protocol plus its parameters — the serializable,
+// sweepable unit carried by core.Config.Protocol. The textual form is
+//
+//	name[:key=val,key=val,...]
+//
+// e.g. "ghost-inclusive:depth=10,cap=3,decay=0.5". Values must not
+// contain commas.
+type Spec struct {
+	// Name is the registered protocol name. Empty means DefaultName.
+	Name string
+	// Params are the protocol's key=value parameters. Nil means all
+	// defaults.
+	Params map[string]string
+}
+
+// String renders the spec in canonical textual form (params sorted by
+// key), the inverse of Parse.
+func (s Spec) String() string {
+	name := s.Name
+	if name == "" {
+		name = DefaultName
+	}
+	if len(s.Params) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Params[k])
+	}
+	return b.String()
+}
+
+// Parse reads a spec from its textual form "name[:key=val,...]". It
+// validates syntax only; names and parameter values are checked by the
+// registry when the protocol is instantiated.
+func Parse(s string) (Spec, error) {
+	name, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Spec{}, fmt.Errorf("consensus: empty protocol name in %q", s)
+	}
+	spec := Spec{Name: name}
+	if !hasParams {
+		return spec, nil
+	}
+	spec.Params = make(map[string]string)
+	for _, pair := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(pair, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			return Spec{}, fmt.Errorf("consensus: %s: bad parameter %q (want key=val)", name, pair)
+		}
+		if _, dup := spec.Params[key]; dup {
+			return Spec{}, fmt.Errorf("consensus: %s: duplicate parameter %q", name, key)
+		}
+		spec.Params[key] = strings.TrimSpace(val)
+	}
+	return spec, nil
+}
+
+// Params is the typed accessor a protocol factory reads its Spec
+// parameters through. Getters record the first conversion error and
+// mark keys as consumed; the registry rejects specs with unknown
+// (unconsumed) keys, so misspelled parameters fail fast instead of
+// silently running the default.
+type Params struct {
+	protocol string
+	raw      map[string]string
+	used     map[string]bool
+	err      error
+}
+
+func newParams(protocol string, raw map[string]string) *Params {
+	return &Params{protocol: protocol, raw: raw, used: make(map[string]bool, len(raw))}
+}
+
+func (p *Params) lookup(key string) (string, bool) {
+	p.used[key] = true
+	v, ok := p.raw[key]
+	return v, ok
+}
+
+func (p *Params) fail(key string, err error) {
+	if p.err == nil {
+		p.err = fmt.Errorf("protocol %s: parameter %s: %w", p.protocol, key, err)
+	}
+}
+
+// Int returns the integer parameter key, or def when absent.
+func (p *Params) Int(key string, def int) int {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		p.fail(key, err)
+		return def
+	}
+	return n
+}
+
+// Float returns the float parameter key, or def when absent.
+func (p *Params) Float(key string, def float64) float64 {
+	v, ok := p.lookup(key)
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		p.fail(key, err)
+		return def
+	}
+	return f
+}
+
+// Err returns the first conversion error, or an unknown-key error when
+// the spec carried parameters no getter consumed.
+func (p *Params) Err() error {
+	if p.err != nil {
+		return p.err
+	}
+	var unknown []string
+	for k := range p.raw {
+		if !p.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("protocol %s: unknown parameter(s) %s", p.protocol, strings.Join(unknown, ", "))
+	}
+	return nil
+}
+
+// Registration describes one protocol kind in the catalog.
+type Registration struct {
+	// Name is the spec name the protocol is addressed by.
+	Name string
+	// Desc is a one-line description for catalogs and help output.
+	Desc string
+	// Usage documents the textual spec form with optional parameters.
+	Usage string
+	// New instantiates the protocol from parsed parameters. Factories
+	// read every parameter they accept through p's typed getters (the
+	// registry rejects unconsumed keys) and validate values eagerly.
+	New func(p *Params) (Protocol, error)
+}
+
+var registry = map[string]Registration{}
+
+// Register adds a protocol kind to the catalog. Duplicate names panic:
+// registration happens in init functions, so a collision is a
+// programming error.
+func Register(r Registration) {
+	if r.Name == "" || r.New == nil {
+		panic("consensus: registration needs a name and a factory")
+	}
+	if _, dup := registry[r.Name]; dup {
+		panic("consensus: duplicate registration of " + r.Name)
+	}
+	registry[r.Name] = r
+}
+
+// Build instantiates one protocol from its spec: looks up the factory,
+// runs it over the typed parameters, and rejects unknown or malformed
+// parameters. An empty spec name builds the default protocol.
+func Build(spec Spec) (Protocol, error) {
+	name := spec.Name
+	if name == "" {
+		name = DefaultName
+	}
+	reg, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("consensus: unknown protocol %q (known: %v)", name, Names())
+	}
+	p := newParams(name, spec.Params)
+	proto, err := reg.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", name, err)
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	return proto, nil
+}
+
+// Validate checks that a spec names a registered protocol and its
+// parameters parse; the instance is discarded.
+func Validate(spec Spec) error {
+	_, err := Build(spec)
+	return err
+}
+
+// Names returns the registered protocol names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Catalog returns every registration sorted by name — the source of
+// CLI -list-protocols output.
+func Catalog() []Registration {
+	out := make([]Registration, 0, len(registry))
+	for _, name := range Names() {
+		out = append(out, registry[name])
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"ethmeasure/internal/analysis"
 	"ethmeasure/internal/chain"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/geo"
 	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
@@ -68,11 +69,20 @@ type Results struct {
 	// their scenario_*-prefixed metrics (merged into KeyMetrics). Nil
 	// when the campaign ran vanilla.
 	Scenarios *analysis.ScenarioResult
+
+	// Protocol is the canonical tag of the consensus protocol the
+	// campaign ran under ("ethereum", "bitcoin",
+	// "ghost-inclusive:depth=10", ...).
+	Protocol string
 }
 
 // Campaign is one configured measurement run.
 type Campaign struct {
 	cfg Config
+
+	// proto is the consensus rule set built from cfg.Protocol; the
+	// registry, miner and analyses all dispatch through it.
+	proto consensus.Protocol
 
 	engine    *sim.Engine
 	network   *simnet.Network
@@ -127,10 +137,29 @@ func NewCampaign(cfg Config) (*Campaign, error) {
 
 func (c *Campaign) build() error {
 	cfg := &c.cfg
+	proto, err := consensus.Build(cfg.Protocol)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	c.proto = proto
+	if cfg.Mining.InterBlockTime == 0 {
+		// An unset mining interval means "the protocol's native rate"
+		// (Bitcoin's 10 minutes, Ethereum's 13.3 s). The presets pin the
+		// interval explicitly so protocol comparisons default to equal
+		// block rates.
+		cfg.Mining.InterBlockTime = proto.TargetInterval()
+		if cfg.Mining.BlockCapacity <= 0 {
+			// The capacity invariant depends on the interval just
+			// adopted; without this a hand-built config would mine
+			// zero-capacity (always-empty) blocks.
+			ApplyCapacity(cfg)
+		}
+	}
 	c.engine = sim.NewEngine(cfg.Seed)
 	c.network = simnet.New(c.engine, cfg.Latency)
 	blockIssuer := types.NewHashIssuer(1)
 	c.registry = chain.NewRegistry(cfg.GenesisNumber, blockIssuer)
+	c.registry.SetProtocol(proto)
 	c.store = txgen.NewStore()
 
 	// Record pipeline: the dataset carries the campaign context the
@@ -310,6 +339,9 @@ func (c *Campaign) Engine() *sim.Engine { return c.engine }
 // Registry exposes the global block registry.
 func (c *Campaign) Registry() *chain.Registry { return c.registry }
 
+// Protocol exposes the consensus rule set the campaign runs under.
+func (c *Campaign) Protocol() consensus.Protocol { return c.proto }
+
 // Store exposes the transaction store.
 func (c *Campaign) Store() *txgen.Store { return c.store }
 
@@ -477,6 +509,7 @@ func (c *Campaign) Analyze() (*Results, error) {
 			TxRecords:       c.collector.TxRecords(),
 		},
 		Scenarios: c.scenarioRes,
+		Protocol:  c.cfg.ProtocolTag(),
 	}
 	if err := c.analyze(res); err != nil {
 		return nil, err
@@ -501,6 +534,7 @@ func (c *Campaign) LogMeta() *logs.Meta {
 		NetworkSize:       c.numNodes,
 		Seed:              c.cfg.Seed,
 		Scenarios:         c.scenarioTags,
+		Protocol:          c.cfg.ProtocolTag(),
 	}
 	meta.Vantages = c.cfg.PrimaryVantages()
 	return meta

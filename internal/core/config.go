@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/geo"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
@@ -113,6 +114,16 @@ type Config struct {
 
 	// Mining configures block production.
 	Mining mining.Config
+
+	// Protocol selects the consensus rule set the chain runs under:
+	// fork choice, reference (uncle) policy, reward schedule
+	// (internal/consensus). The zero value is the ethereum protocol —
+	// the paper's rules, and the only behaviour that existed before
+	// protocols became pluggable. When Mining.InterBlockTime is left
+	// zero, the protocol's native target interval applies; the presets
+	// set Ethereum's 13.3 s explicitly so cross-protocol comparisons
+	// run at equal block rates unless deliberately changed.
+	Protocol consensus.Spec
 
 	// Pools is the mining-pool population.
 	Pools []mining.PoolSpec
@@ -336,6 +347,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: tx workload enabled but sender distribution is nil")
 		}
 	}
+	if err := consensus.Validate(c.Protocol); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	for _, spec := range c.scenarioSpecs() {
 		if err := scenario.Validate(spec); err != nil {
 			return fmt.Errorf("core: %w", err)
@@ -343,6 +357,11 @@ func (c *Config) Validate() error {
 	}
 	return nil
 }
+
+// ProtocolTag returns the canonical textual form of the configured
+// consensus protocol ("ethereum" for the zero value) — the annotation
+// carried by results and log metadata.
+func (c *Config) ProtocolTag() string { return c.Protocol.String() }
 
 // scenarioSpecs returns the full composed scenario list: the legacy
 // churn and withholding fields converted to their plugin specs,

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/scenario"
@@ -100,6 +101,20 @@ func equivalenceVariants() []struct {
 	eclipseCfg.EnableTxWorkload = false
 	eclipseCfg = addScenario(eclipseCfg, "eclipse", "bandwidth:regions=EA,start=2m,dur=2m", "churnburst:count=5,start=5m")
 
+	// Protocol variants: bounded-memory mode must be proven
+	// bit-identical off the Ethereum consensus path too. The bitcoin
+	// variant exercises the no-reference rules (zero uncles, discarding
+	// withholder); ghost-inclusive the deeper reference window.
+	bitcoinCfg := tinyConfig()
+	bitcoinCfg.EnableTxWorkload = false
+	bitcoinCfg.Protocol = consensus.Spec{Name: consensus.BitcoinName}
+	ghostCfg := tinyConfig()
+	ghostCfg.EnableTxWorkload = false
+	ghostCfg.Protocol = consensus.Spec{
+		Name:   consensus.GhostInclusiveName,
+		Params: map[string]string{"depth": "10", "cap": "3"},
+	}
+
 	variants := []struct {
 		name string
 		cfg  Config
@@ -110,11 +125,12 @@ func equivalenceVariants() []struct {
 		{"announce-only", announceOnly},
 		{"no-tx", noTx},
 		{"withhold", withhold},
+		{"bitcoin", bitcoinCfg},
 	}
 	if !testing.Short() {
-		// The new-scenario variants ride only in the full suite; the
-		// fast (-short -race) suite keeps the historical five plus the
-		// withholding plugin.
+		// The new-scenario and ghost variants ride only in the full
+		// suite; the fast (-short -race) suite keeps the historical five
+		// plus the withholding plugin and the bitcoin protocol.
 		variants = append(variants, []struct {
 			name string
 			cfg  Config
@@ -122,6 +138,7 @@ func equivalenceVariants() []struct {
 			{"partition", partitionCfg},
 			{"relayoverlay", relayCfg},
 			{"eclipse-bw-burst", eclipseCfg},
+			{"ghost-inclusive", ghostCfg},
 		}...)
 	}
 	return variants

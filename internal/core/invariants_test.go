@@ -4,7 +4,6 @@ import (
 	"testing"
 	"time"
 
-	"ethmeasure/internal/chain"
 	"ethmeasure/internal/types"
 )
 
@@ -99,7 +98,7 @@ func TestCampaignInvariants(t *testing.T) {
 	t.Run("uncle references valid", func(t *testing.T) {
 		cited := make(map[types.Hash]bool)
 		for _, b := range reg.MainChain() {
-			if len(b.Uncles) > chain.MaxUnclesPerBlock {
+			if len(b.Uncles) > reg.Protocol().MaxReferencesPerBlock() {
 				t.Fatalf("block %s cites %d uncles", b.Hash, len(b.Uncles))
 			}
 			for _, u := range b.Uncles {
@@ -111,7 +110,7 @@ func TestCampaignInvariants(t *testing.T) {
 				if !ok {
 					t.Fatalf("cited uncle %s does not exist", u)
 				}
-				if uncle.Number >= b.Number || b.Number-uncle.Number > chain.MaxUncleDepth {
+				if uncle.Number >= b.Number || b.Number-uncle.Number > reg.Protocol().MaxReferenceDepth() {
 					t.Fatalf("uncle %s at invalid depth %d", u, b.Number-uncle.Number)
 				}
 				if reg.IsAncestor(u, b.Hash, int(b.Number-uncle.Number)+1) {

@@ -18,6 +18,7 @@ func (r *Results) KeyMetrics() analysis.KeyMetrics {
 	m.Merge(r.Ordering.KeyMetrics())
 	m.Merge(r.InterBlock.KeyMetrics())
 	m.Merge(r.Throughput.KeyMetrics())
+	m.Merge(r.Rewards.KeyMetrics())
 	m.Merge(r.Scenarios.KeyMetrics())
 	return m
 }

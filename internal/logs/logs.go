@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ethmeasure/internal/chain"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/types"
 )
@@ -49,6 +50,10 @@ type Meta struct {
 	// Scenarios lists the canonical tags of the interventions composed
 	// into the campaign (empty for vanilla runs and pre-scenario logs).
 	Scenarios []string `json:"scenarios,omitempty"`
+	// Protocol is the canonical tag of the consensus protocol the
+	// campaign ran under. Empty in pre-protocol logs, which were all
+	// ethereum.
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // ChainBlock is the serialized form of a registry block (the "chain
@@ -210,6 +215,12 @@ type Campaign struct {
 // first entry is genesis and parents always precede children; feed
 // entries in file order.
 type ChainBuilder struct {
+	// Protocol, when non-nil, is installed on the rebuilt registry so
+	// re-analysis applies the original campaign's consensus rules
+	// (resolve it from Meta.Protocol). Nil keeps the registry default
+	// (ethereum), matching pre-protocol logs.
+	Protocol consensus.Protocol
+
 	reg *chain.Registry
 }
 
@@ -217,6 +228,9 @@ type ChainBuilder struct {
 func (b *ChainBuilder) Add(cb *ChainBlock) error {
 	if b.reg == nil {
 		b.reg = chain.NewRegistryWithGenesis(cb.Number, cb.Hash)
+		if b.Protocol != nil {
+			b.reg.SetProtocol(b.Protocol)
+		}
 		return nil
 	}
 	blk := &types.Block{
@@ -239,6 +253,24 @@ func (b *ChainBuilder) Add(cb *ChainBlock) error {
 // Registry returns the reconstructed registry, or nil when no chain
 // entries were fed.
 func (b *ChainBuilder) Registry() *chain.Registry { return b.reg }
+
+// ProtocolFromMeta resolves the consensus protocol a log's metadata
+// names. Logs without a protocol tag predate pluggable consensus and
+// resolve to ethereum.
+func ProtocolFromMeta(m *Meta) (consensus.Protocol, error) {
+	if m == nil || m.Protocol == "" {
+		return consensus.Ethereum(), nil
+	}
+	spec, err := consensus.Parse(m.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("logs: meta protocol: %w", err)
+	}
+	proto, err := consensus.Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("logs: meta protocol: %w", err)
+	}
+	return proto, nil
+}
 
 // Load reads a whole log stream into memory, reconstructing a registry
 // from chain entries when present. The chain dump is in creation
@@ -267,6 +299,13 @@ func LoadCampaign(r io.Reader) (*Campaign, error) {
 		switch e.Kind {
 		case KindMeta:
 			c.Meta = e.Meta
+			if e.Meta != nil && e.Meta.Protocol != "" && builder.Registry() == nil {
+				proto, err := ProtocolFromMeta(e.Meta)
+				if err != nil {
+					return nil, err
+				}
+				builder.Protocol = proto
+			}
 		case KindBlock:
 			if e.Block != nil {
 				c.Blocks = append(c.Blocks, *e.Block)

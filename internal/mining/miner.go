@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ethmeasure/internal/chain"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/p2p"
 	"ethmeasure/internal/rlp"
 	"ethmeasure/internal/sim"
@@ -82,6 +83,7 @@ type Miner struct {
 	cfg     Config
 	engine  *sim.Engine
 	reg     *chain.Registry
+	proto   consensus.Protocol // the registry's rule set, cached
 	rng     *rand.Rand
 	pools   []*Pool
 	cum     []float64
@@ -133,6 +135,7 @@ func NewMiner(
 		cfg:     cfg,
 		engine:  engine,
 		reg:     reg,
+		proto:   reg.Protocol(),
 		rng:     engine.RNG("mining"),
 		issuer:  issuer,
 		resolve: resolve,
@@ -176,10 +179,10 @@ func (m *Miner) hookGateway(pool *Pool) {
 	}
 }
 
-// switchJob moves the pool's mining job to newHead if it is heavier,
-// reconciling the txpool across the reorg.
+// switchJob moves the pool's mining job to newHead if the protocol's
+// fork choice prefers it, reconciling the txpool across the reorg.
 func (m *Miner) switchJob(pool *Pool, newHead *types.Block) {
-	if newHead.TotalDiff <= pool.jobHead.TotalDiff {
+	if !m.proto.Prefer(newHead, pool.jobHead) {
 		return
 	}
 	abandoned, adopted := chain.Reorg(m.reg, pool.jobHead, newHead, 64)
@@ -234,6 +237,11 @@ func (m *Miner) EmptyStarved() int { return m.emptyStarved }
 
 // Pools returns the runtime pools in spec order.
 func (m *Miner) Pools() []*Pool { return m.pools }
+
+// Protocol returns the consensus rule set the miner produces blocks
+// under (the registry's protocol). Strategies and scenario plugins
+// consult it for the reward schedule.
+func (m *Miner) Protocol() consensus.Protocol { return m.proto }
 
 func (m *Miner) scheduleNext() {
 	wait := sim.ExpDuration(m.rng, m.cfg.InterBlockTime)
@@ -307,13 +315,21 @@ func (m *Miner) siblingDelay() time.Duration {
 }
 
 // mineSibling publishes an alternative version of original at the same
-// height, provided the chain has not moved past the uncle window.
+// height, provided the chain has not moved past the window in which
+// the sibling could still earn anything.
 func (m *Miner) mineSibling(pool *Pool, original *types.Block, sameTx bool) {
 	parent, ok := m.reg.Get(original.ParentHash)
 	if !ok {
 		return
 	}
-	if pool.jobHead.Number > parent.Number+chain.MaxUncleDepth {
+	// Under reference-paying protocols the window is the reference
+	// (uncle) depth; under no-reference protocols a sibling is only
+	// worth publishing while it can still win the fork race at the tip.
+	window := m.proto.MaxReferenceDepth()
+	if window == 0 {
+		window = 1
+	}
+	if pool.jobHead.Number > parent.Number+window {
 		return // too old to ever be rewarded; pointless to publish
 	}
 	var b *types.Block
@@ -361,7 +377,7 @@ func (m *Miner) buildBlock(pool *Pool, parent *types.Block, empty bool, txHashes
 			txHashes[i] = tx.Hash
 		}
 	}
-	uncles := pool.primary.View().UncleCandidatesFor(parent, chain.MaxUnclesPerBlock)
+	uncles := pool.primary.View().UncleCandidatesFor(parent, m.proto.MaxReferencesPerBlock())
 	b := &types.Block{
 		Hash:       m.issuer.Next(),
 		Number:     parent.Number + 1,
@@ -388,7 +404,7 @@ func (m *Miner) publish(pool *Pool, b *types.Block, advanceJob bool) {
 	if m.OnBlockMined != nil {
 		m.OnBlockMined(b, pool)
 	}
-	if advanceJob && b.TotalDiff > pool.jobHead.TotalDiff {
+	if advanceJob && m.proto.Prefer(b, pool.jobHead) {
 		// The pool learns of its own block instantly.
 		abandoned, adopted := chain.Reorg(m.reg, pool.jobHead, b, 64)
 		for _, blk := range abandoned {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ethmeasure/internal/chain"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/geo"
 	"ethmeasure/internal/p2p"
 	"ethmeasure/internal/sim"
@@ -25,6 +26,12 @@ type miningHarness struct {
 }
 
 func newMiningHarness(t *testing.T, n int) *miningHarness {
+	return newMiningHarnessProto(t, n, nil)
+}
+
+// newMiningHarnessProto is newMiningHarness under an explicit
+// consensus protocol (nil keeps the registry default, ethereum).
+func newMiningHarnessProto(t *testing.T, n int, proto consensus.Protocol) *miningHarness {
 	t.Helper()
 	engine := sim.NewEngine(1)
 	net := simnet.New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
@@ -36,6 +43,9 @@ func newMiningHarness(t *testing.T, n int) *miningHarness {
 		issuer: issuer,
 		p2pCfg: p2p.DefaultConfig(),
 		txs:    make(map[types.Hash]*types.Transaction),
+	}
+	if proto != nil {
+		h.reg.SetProtocol(proto)
 	}
 	for i := 0; i < n; i++ {
 		endpoint, err := net.AddNode(geo.NorthAmerica, 1e9)
@@ -290,7 +300,7 @@ func TestMinerUnclesGetReferenced(t *testing.T) {
 		u := h.reg.MustGet(uncle)
 		for _, ref := range blocks {
 			b := h.reg.MustGet(ref)
-			if u.Number >= b.Number || b.Number-u.Number > chain.MaxUncleDepth {
+			if u.Number >= b.Number || b.Number-u.Number > h.reg.Protocol().MaxReferenceDepth() {
 				t.Errorf("uncle %s at depth %d from %s", uncle, b.Number-u.Number, ref)
 			}
 		}

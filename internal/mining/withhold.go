@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ethmeasure/internal/chain"
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/types"
 )
 
@@ -34,6 +35,13 @@ type Strategy interface {
 	OnPublicBlock(b *types.Block) []*types.Block
 }
 
+// ProtocolAware is implemented by strategies whose decisions depend on
+// the consensus rules (reward schedule, reference policy). The miner
+// binds its protocol before the strategy's first hook runs.
+type ProtocolAware interface {
+	BindProtocol(consensus.Protocol)
+}
+
 // poolStrategy binds a strategy to its pool.
 type poolStrategy struct {
 	pool  *Pool
@@ -42,6 +50,8 @@ type poolStrategy struct {
 
 // AttachStrategy binds a publication strategy to the named pool. At
 // most one strategy per pool; unknown pools are rejected.
+// ProtocolAware strategies receive the miner's consensus protocol
+// before any hook fires.
 func (m *Miner) AttachStrategy(poolName string, s Strategy) error {
 	for _, p := range m.pools {
 		if p.Spec.Name != poolName {
@@ -51,6 +61,9 @@ func (m *Miner) AttachStrategy(poolName string, s Strategy) error {
 			if m.strategies[i].pool == p {
 				return fmt.Errorf("mining: pool %q already has a strategy", poolName)
 			}
+		}
+		if pa, ok := s.(ProtocolAware); ok {
+			pa.BindProtocol(m.proto)
 		}
 		m.strategies = append(m.strategies, poolStrategy{pool: p, strat: s})
 		return nil
@@ -78,13 +91,24 @@ func (m *Miner) strategyFor(pool *Pool) Strategy {
 type Withholding struct {
 	depth int // publish when the private lead reaches this
 
+	// proto is the consensus rule set, bound by the miner on attach.
+	// The withholder consults its reward schedule: under protocols
+	// that pay reference (uncle) rewards a beaten private chain is
+	// still worth publishing, under no-reference protocols it is
+	// worthless and gets discarded instead.
+	proto consensus.Protocol
+
 	private []*types.Block // unpublished blocks, oldest first
 
-	bursts   int // burst releases (diagnostics)
-	released int // blocks published through bursts
+	bursts    int // burst releases (diagnostics)
+	released  int // blocks published through bursts
+	discarded int // beaten private blocks dropped unpublished
 }
 
-var _ Strategy = (*Withholding)(nil)
+var (
+	_ Strategy      = (*Withholding)(nil)
+	_ ProtocolAware = (*Withholding)(nil)
+)
 
 // NewWithholding creates the selfish block-withholding strategy with
 // the given private-chain release depth (must be at least 2).
@@ -103,6 +127,23 @@ func (w *Withholding) Bursts() int { return w.bursts }
 
 // Released returns how many blocks were published through bursts.
 func (w *Withholding) Released() int { return w.released }
+
+// Discarded returns how many beaten private blocks were dropped
+// unpublished (only under protocols without reference rewards).
+func (w *Withholding) Discarded() int { return w.discarded }
+
+// BindProtocol implements ProtocolAware.
+func (w *Withholding) BindProtocol(p consensus.Protocol) { w.proto = p }
+
+// paysReferences reports whether the bound protocol rewards referenced
+// side blocks. Unbound strategies assume Ethereum's schedule (the
+// legacy ConfigureWithholding path binds on attach anyway).
+func (w *Withholding) paysReferences() bool {
+	if w.proto == nil {
+		return true
+	}
+	return w.proto.ReferenceReward(1) > 0
+}
 
 // tip returns the private tip, or nil when nothing is withheld.
 func (w *Withholding) tip() *types.Block {
@@ -128,10 +169,20 @@ func (w *Withholding) OnMined(b *types.Block) []*types.Block {
 // OnPublicBlock reacts to a competing public block: when the public
 // chain gets within one block of the private tip, the withholder
 // publishes everything to override it (the "race" branch of selfish
-// mining).
+// mining). Under a protocol with no reference rewards, a private chain
+// the public chain has already overtaken can never earn anything — it
+// is discarded instead of published.
 func (w *Withholding) OnPublicBlock(b *types.Block) []*types.Block {
 	tip := w.tip()
 	if tip == nil {
+		return nil
+	}
+	if !w.paysReferences() && b.TotalDiff > tip.TotalDiff {
+		// Strictly overtaken only: on a tie the private chain can still
+		// win the first-seen race at every node it reaches first, so the
+		// race branch below publishes it (Eyal-Sirer's race on Bitcoin).
+		w.discarded += len(w.private)
+		w.private = nil
 		return nil
 	}
 	if b.TotalDiff+1 >= tip.TotalDiff {
@@ -224,7 +275,7 @@ func (m *Miner) publishBurst(pool *Pool, burst []*types.Block) {
 		return
 	}
 	for _, b := range burst {
-		if b.TotalDiff > pool.jobHead.TotalDiff {
+		if m.proto.Prefer(b, pool.jobHead) {
 			abandoned, adopted := chain.Reorg(m.reg, pool.jobHead, b, 64)
 			for _, blk := range abandoned {
 				pool.txs.UnmarkIncluded(m.resolveAll(blk.TxHashes))

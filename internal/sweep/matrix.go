@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/mining"
 	"ethmeasure/internal/scenario"
@@ -324,6 +325,32 @@ func Scenarios(specs ...string) (Axis, error) {
 				scenarios = append(scenarios, cfg.Scenarios...)
 				cfg.Scenarios = append(scenarios, spec)
 			},
+		})
+	}
+	return ax, nil
+}
+
+// Protocols varies the consensus rule set: each variant is one
+// protocol spec string ("ethereum", "bitcoin",
+// "ghost-inclusive:depth=10", ...) installed as the run's
+// core.Config.Protocol. Specs are parsed and validated against the
+// consensus registry up front, so a sweep fails fast on an unknown
+// name or parameter. Cross-protocol aggregates group per variant;
+// protocol-conditional KeyMetrics (uncle shares) appear only in the
+// variants whose protocol produces them.
+func Protocols(specs ...string) (Axis, error) {
+	ax := Axis{Name: "protocol"}
+	for _, raw := range specs {
+		spec, err := consensus.Parse(raw)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: protocol axis: %w", err)
+		}
+		if err := consensus.Validate(spec); err != nil {
+			return Axis{}, fmt.Errorf("sweep: protocol axis: %w", err)
+		}
+		ax.Variants = append(ax.Variants, Variant{
+			Name:  spec.String(),
+			Apply: func(cfg *core.Config) { cfg.Protocol = spec },
 		})
 	}
 	return ax, nil
