@@ -80,6 +80,11 @@ type Entry struct {
 	// VantagePeers records a non-default vantage adjacency
 	// (-vantage-peers), which drives record volume.
 	VantagePeers int `json:"vantage_peers,omitempty"`
+
+	// Shards records a non-serial engine configuration (-shards). Such
+	// entries are name-suffixed so they never gate against the serial
+	// baseline.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Report is the BENCH_*.json document.
@@ -87,6 +92,7 @@ type Report struct {
 	Schema    int     `json:"schema"`
 	GoVersion string  `json:"go_version"`
 	Profile   string  `json:"profile"`
+	NumCPU    int     `json:"num_cpu,omitempty"`
 	Entries   []Entry `json:"entries"`
 }
 
@@ -195,11 +201,12 @@ func (hs *heapSampler) Stop() uint64 {
 	return hs.peak.Load()
 }
 
-func runCampaignEntry(s scale, retain bool, vantagePeers int, proto consensus.Spec, scens []scenario.Spec, w io.Writer) (Entry, error) {
+func runCampaignEntry(s scale, retain bool, vantagePeers, shards int, proto consensus.Spec, scens []scenario.Spec, w io.Writer) (Entry, error) {
 	cfg := campaignConfig(s, 1, vantagePeers)
 	cfg.RetainRecords = retain
 	cfg.Protocol = proto
 	cfg.Scenarios = scens
+	cfg.Shards = shards
 	campaign, err := core.NewCampaign(cfg)
 	if err != nil {
 		return Entry{}, fmt.Errorf("build %d-node campaign: %w", s.nodes, err)
@@ -207,6 +214,12 @@ func runCampaignEntry(s scale, retain bool, vantagePeers int, proto consensus.Sp
 	name := fmt.Sprintf("campaign/%d", s.nodes)
 	if retain {
 		name += "/retain"
+	}
+	if shards != 1 {
+		// Sharded entries gate separately: a parallel run trades
+		// allocs/event for wall time, so comparing it against the
+		// serial baseline would flag the wrong thing.
+		name += fmt.Sprintf("/shards=%d", cfg.ResolveShards())
 	}
 	if tag := cfg.ProtocolTag(); tag != consensus.DefaultName {
 		// Non-default-protocol entries are named apart so they never
@@ -286,6 +299,9 @@ func runCampaignEntry(s scale, retain bool, vantagePeers int, proto consensus.Sp
 		AnalysisPeakHeapBytes: analysisPeak,
 		RetainRecords:         retain,
 		VantagePeers:          vantagePeers,
+	}
+	if shards != 1 {
+		e.Shards = cfg.ResolveShards()
 	}
 	fmt.Fprintf(w, "%-22s %9.1f ns/event %8.3f allocs/event %12.0f events/s  peak heap %6.1f MB  (%d events, wall %v)\n",
 		e.Name, e.NsPerOp, e.AllocsPerOp, e.EventsPerSec, float64(peak)/(1<<20), events, wall.Round(time.Millisecond))
@@ -490,6 +506,7 @@ func run(args []string, w io.Writer) error {
 	retain := fs.Bool("retain", false, "run campaigns with raw-record retention (batch-compatible mode) instead of the bounded-memory default")
 	bothModes := fs.Bool("both-modes", false, "run every scale in bounded AND retained modes (before/after memory comparison)")
 	vantagePeers := fs.Int("vantage-peers", 0, "re-peer primary vantages with this many nodes (0 = default 50 cap); raises record volume for analysis-phase benchmarks")
+	shards := fs.Int("shards", 1, "event-engine shards (1 = serial, the baseline-comparable default; 0 = one per geo region up to GOMAXPROCS; non-serial entries are name-suffixed)")
 	skipDispatch := fs.Bool("skip-dispatch", false, "skip the chain protocol-dispatch microbenchmarks")
 	protocol := fs.String("protocol", "", "consensus protocol for the benchmark campaigns: name[:key=val,...] (default ethereum; non-default entries are name-suffixed)")
 	var scenFlags cliutil.StringList
@@ -529,7 +546,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	report := &Report{Schema: 1, GoVersion: runtime.Version(), Profile: *profile}
+	report := &Report{Schema: 1, GoVersion: runtime.Version(), Profile: *profile, NumCPU: runtime.NumCPU()}
 	if !*skipEngine {
 		report.Entries = append(report.Entries, engineEntry(w))
 	}
@@ -542,7 +559,7 @@ func run(args []string, w io.Writer) error {
 			modes = []bool{false, true}
 		}
 		for _, mode := range modes {
-			entry, err := runCampaignEntry(s, mode, *vantagePeers, proto, scens, w)
+			entry, err := runCampaignEntry(s, mode, *vantagePeers, *shards, proto, scens, w)
 			if err != nil {
 				return err
 			}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ethsim -out logs.jsonl [-preset quick|default|paper] [-seed N]
-//	       [-duration D] [-nodes N] [-no-tx] [-stream]
+//	       [-duration D] [-nodes N] [-no-tx] [-shards N] [-stream]
 //	       [-protocol name[:key=val,...]]
 //	       [-scenario name[:key=val,...]]...
 //	ethsim -list-scenarios
@@ -55,6 +55,7 @@ func run(args []string) error {
 		duration   = fs.Duration("duration", 0, "override virtual campaign duration")
 		nodes      = fs.Int("nodes", 0, "override regular node count")
 		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
+		shards     = fs.Int("shards", 0, "event-engine shards (0 = one per geo region up to GOMAXPROCS, 1 = serial)")
 		stream     = fs.Bool("stream", false, "bounded-memory mode: spill records to -out during the run instead of retaining them")
 		listScens  = fs.Bool("list-scenarios", false, "print the scenario catalog and exit")
 		listProtos = fs.Bool("list-protocols", false, "print the consensus-protocol catalog and exit")
@@ -98,6 +99,10 @@ func run(args []string) error {
 	if *noTx {
 		cfg.EnableTxWorkload = false
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
+	}
+	cfg.Shards = *shards
 	if *stream {
 		cfg.RetainRecords = false
 		cfg.SpillPath = *out

@@ -11,7 +11,7 @@
 //	         [-vary axis=v1,v2,...]... [-scenarios spec;spec;...]
 //	         [-protocols spec;spec;...]
 //	         [-workers N] [-json PATH]
-//	         [-duration D] [-nodes N] [-no-tx] [-quiet]
+//	         [-duration D] [-nodes N] [-no-tx] [-shards N] [-quiet]
 //
 // Axes accepted by -vary (repeatable, one axis each):
 //
@@ -78,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 		quiet    = fs.Bool("quiet", false, "suppress per-run progress on stderr")
 		scens    = fs.String("scenarios", "", "scenario axis: semicolon-separated specs (name[:key=val,...]; 'none' = base)")
 		protos   = fs.String("protocols", "", "consensus-protocol axis: semicolon-separated specs (ethereum;bitcoin;...)")
+		shards   = fs.Int("shards", 0, "event-engine shards per campaign (0 = one per geo region up to GOMAXPROCS, 1 = serial)")
 		vary     cliutil.StringList
 	)
 	fs.Var(&vary, "vary", "axis=v1,v2,... (repeatable; axes: nodes, discovery, pools, churn, txrate, duration)")
@@ -108,6 +109,10 @@ func run(args []string, stdout io.Writer) error {
 	if *noTx {
 		base.EnableTxWorkload = false
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
+	}
+	base.Shards = *shards
 
 	matrix := &sweep.Matrix{
 		Base:  base,
@@ -121,14 +126,14 @@ func run(args []string, stdout io.Writer) error {
 		matrix.Axes = append(matrix.Axes, axis)
 	}
 	if *scens != "" {
-		axis, err := sweep.Scenarios(strings.Split(*scens, ";")...)
+		axis, err := sweep.Scenarios(splitSpecs(*scens)...)
 		if err != nil {
 			return err
 		}
 		matrix.Axes = append(matrix.Axes, axis)
 	}
 	if *protos != "" {
-		axis, err := sweep.Protocols(strings.Split(*protos, ";")...)
+		axis, err := sweep.Protocols(splitSpecs(*protos)...)
 		if err != nil {
 			return err
 		}
@@ -261,6 +266,22 @@ func trimAll(parts []string) []string {
 	out := make([]string, len(parts))
 	for i, p := range parts {
 		out[i] = strings.TrimSpace(p)
+	}
+	return out
+}
+
+// splitSpecs splits a semicolon-separated spec list the way -vary
+// values are treated: each item trimmed, empty items dropped. Without
+// this, "partition; eclipse;" used to produce a " eclipse" spec (the
+// parser rejects the leading space) and a phantom empty variant from
+// the trailing semicolon.
+func splitSpecs(s string) []string {
+	parts := strings.Split(s, ";")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
 	}
 	return out
 }

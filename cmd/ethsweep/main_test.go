@@ -121,6 +121,50 @@ func TestRunSeedBaseOffset(t *testing.T) {
 	}
 }
 
+func TestSplitSpecsTrimsAndDropsEmpties(t *testing.T) {
+	got := splitSpecs("partition:a=EA,start=1m,dur=1m; relayoverlay;  ;")
+	want := []string{"partition:a=EA,start=1m,dur=1m", "relayoverlay"}
+	if len(got) != len(want) {
+		t.Fatalf("splitSpecs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitSpecs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if got := splitSpecs(";;"); len(got) != 0 {
+		t.Fatalf("splitSpecs(\";;\") = %v, want empty", got)
+	}
+}
+
+// TestRunAcceptsPaddedSpecLists: specs with spaces after the
+// semicolons and a trailing separator must parse — the padded form
+// used to fail on the untrimmed " churnburst..." item and the
+// phantom empty spec.
+func TestRunAcceptsPaddedSpecLists(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-preset", "quick", "-duration", "90s", "-nodes", "45", "-no-tx",
+		"-seeds", "1", "-quiet",
+		"-scenarios", "none; churnburst:count=5,start=30s;",
+		"-protocols", "ethereum; bitcoin;",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 seed x 2 scenarios x 2 protocols.
+	if !strings.Contains(buf.String(), "4 runs") {
+		t.Errorf("padded spec lists did not expand to 4 runs:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadShards(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-shards", "-1"}, &buf); err == nil {
+		t.Error("-shards -1 accepted")
+	}
+}
+
 func TestRunRejectsBadScenarios(t *testing.T) {
 	var buf bytes.Buffer
 	for _, spec := range []string{"no-such", "partition", "churn:interval=x"} {

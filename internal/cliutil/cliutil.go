@@ -7,8 +7,10 @@ import "strings"
 // (flag.Value).
 type StringList []string
 
-// String implements flag.Value.
-func (m *StringList) String() string { return strings.Join(*m, "; ") }
+// String implements flag.Value. The comma separator round-trips: a
+// value printed by String (flag defaults in -help, config echoes) can
+// be fed back through Set without growing a stray "; " item.
+func (m *StringList) String() string { return strings.Join(*m, ",") }
 
 // Set implements flag.Value.
 func (m *StringList) Set(v string) error {

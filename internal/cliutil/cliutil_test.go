@@ -1,0 +1,39 @@
+package cliutil
+
+import "testing"
+
+func TestStringListSetAccumulates(t *testing.T) {
+	var l StringList
+	for _, v := range []string{"a", "b", "c"} {
+		if err := l.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l) != 3 || l[0] != "a" || l[1] != "b" || l[2] != "c" {
+		t.Fatalf("list = %v", l)
+	}
+}
+
+func TestStringListStringRoundTrips(t *testing.T) {
+	var l StringList
+	l.Set("x")
+	l.Set("y")
+	printed := l.String()
+	if printed != "x,y" {
+		t.Fatalf("String() = %q, want %q", printed, "x,y")
+	}
+	// Feeding the printed form back through Set must reproduce the
+	// items under the comma convention the cmd/ tools use for specs.
+	var round StringList
+	round.Set(printed)
+	if round.String() != printed {
+		t.Fatalf("round-trip = %q, want %q", round.String(), printed)
+	}
+}
+
+func TestStringListEmpty(t *testing.T) {
+	var l StringList
+	if got := l.String(); got != "" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}

@@ -85,6 +85,7 @@ type Campaign struct {
 	proto consensus.Protocol
 
 	engine    *sim.Engine
+	sharded   *sim.Sharded // nil when the campaign runs the serial engine
 	network   *simnet.Network
 	registry  *chain.Registry
 	store     *txgen.Store
@@ -157,6 +158,16 @@ func (c *Campaign) build() error {
 	}
 	c.engine = sim.NewEngine(cfg.Seed)
 	c.network = simnet.New(c.engine, cfg.Latency)
+	if shards := cfg.ResolveShards(); shards > 1 {
+		// Conservative PDES: the lookahead is the smallest delay any
+		// message can take — the latency model's floor over every region
+		// pair (diagonals included, since shards may split a region)
+		// plus the fixed per-message overhead. Sharding must be enabled
+		// before any node exists so every node gets a shard.
+		lookahead := cfg.Latency.MinSampleFloor() + c.network.MinOverhead
+		c.sharded = sim.NewSharded(c.engine, shards, lookahead)
+		c.network.EnableSharding(c.sharded, shardPicker(cfg.NodeDistribution, shards))
+	}
 	blockIssuer := types.NewHashIssuer(1)
 	c.registry = chain.NewRegistry(cfg.GenesisNumber, blockIssuer)
 	c.registry.SetProtocol(proto)
@@ -247,7 +258,15 @@ func (c *Campaign) build() error {
 			k := int(cfg.VantageGatewayFraction*float64(len(allGateways)) + 0.5)
 			p2p.ConnectToRandom(topoRNG, node, allGateways, k)
 		}
-		vantage := measure.NewVantage(vs.Name, cfg.Clock, clockRNG.Int63(), c.bus)
+		var sink measure.Recorder = c.bus
+		if d, ok := node.Scheduler().(sim.Deferrer); ok {
+			// Sharded mode: the vantage observes (and draws its clock
+			// offsets) on its node's shard, but the bus consumers —
+			// collector, memory recorder, spill writer — are serial
+			// state, so each finished record is deferred to the barrier.
+			sink = &deferRecorder{d: d, bus: c.bus}
+		}
+		vantage := measure.NewVantage(vs.Name, cfg.Clock, clockRNG.Int63(), sink)
 		node.Observer = vantage
 		c.vantages = append(c.vantages, vantage)
 		c.vantNodes = append(c.vantNodes, node)
@@ -333,8 +352,28 @@ func (c *Campaign) build() error {
 	return nil
 }
 
-// Engine exposes the simulation engine (tests and diagnostics).
+// Engine exposes the serial simulation engine (tests and diagnostics).
+// In sharded mode this is the coordinator's global engine: the serial
+// timeline mining, workloads and interventions run on.
 func (c *Campaign) Engine() *sim.Engine { return c.engine }
+
+// Sharded exposes the sharded coordinator, or nil when the campaign
+// runs the serial engine (Config.Shards resolved to 1).
+func (c *Campaign) Sharded() *sim.Sharded { return c.sharded }
+
+// StopSimulation halts a running Simulate at the next safe point: the
+// current serial event, or — mid-window — within a bounded number of
+// shard events. Simulate then returns an error wrapping sim.ErrStopped.
+// Safe to call from an engine callback or from another goroutine.
+func (c *Campaign) StopSimulation() {
+	if c.sharded != nil {
+		c.sharded.Stop()
+		return
+	}
+	if c.engine != nil {
+		c.engine.Stop()
+	}
+}
 
 // Registry exposes the global block registry.
 func (c *Campaign) Registry() *chain.Registry { return c.registry }
@@ -400,16 +439,25 @@ func (c *Campaign) Simulate() error {
 			}
 		}
 	}
-	if _, err := c.engine.Run(c.cfg.Duration); err != nil {
+	var runErr error
+	if c.sharded != nil {
+		_, runErr = c.sharded.Run(c.cfg.Duration)
+	} else {
+		_, runErr = c.engine.Run(c.cfg.Duration)
+	}
+	if runErr != nil {
 		if c.spill != nil {
 			// Best effort: flush what was recorded and release the
 			// descriptor; the simulation error takes precedence.
 			c.spill.Close()
 			c.spill = nil
 		}
-		return fmt.Errorf("core: simulation: %w", err)
+		return fmt.Errorf("core: simulation: %w", runErr)
 	}
 	c.events = c.engine.EventsRun()
+	if c.sharded != nil {
+		c.events = c.sharded.EventsRun()
+	}
 	c.delivered = c.network.Delivered()
 	if c.recorder != nil {
 		c.dataset.Blocks = c.recorder.Blocks
@@ -477,6 +525,7 @@ func (c *Campaign) ReleaseNetwork() {
 		return // the simulation still needs all of it
 	}
 	c.engine = nil
+	c.sharded = nil
 	c.network = nil
 	c.miner = nil
 	c.gen = nil

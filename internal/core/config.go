@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"ethmeasure/internal/analysis"
@@ -54,6 +55,14 @@ type Config struct {
 
 	// OutDegree is each regular node's dial count (mean degree ≈ 2x).
 	OutDegree int
+
+	// Shards is the number of event-engine shards the campaign runs on
+	// (conservative PDES: nodes are partitioned by geo region, shards
+	// advance in lookahead windows bounded by the minimum inter-region
+	// latency). 0 picks min(regions, GOMAXPROCS); 1 runs the serial
+	// engine, preserving the single-threaded path exactly. Any shard
+	// count produces bit-identical records and chains for a given seed.
+	Shards int
 
 	// UseDiscovery selects the Kademlia-style discovery overlay for
 	// neighbour selection instead of the plain random graph. Both are
@@ -294,6 +303,9 @@ func (c *Config) Validate() error {
 	if c.OutDegree < 1 || c.OutDegree >= c.NumNodes {
 		return fmt.Errorf("core: out-degree %d out of range", c.OutDegree)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: shard count must be non-negative, got %d", c.Shards)
+	}
 	if c.NodeBandwidth <= 0 || c.GatewayBandwidth <= 0 || c.VantageBandwidth <= 0 {
 		return fmt.Errorf("core: bandwidths must be positive")
 	}
@@ -356,6 +368,24 @@ func (c *Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ResolveShards returns the effective shard count: Shards when set
+// explicitly, otherwise min(geo.NumRegions, GOMAXPROCS) — more shards
+// than regions adds synchronization without adding usable lookahead,
+// and more shards than cores adds scheduling without adding CPU.
+func (c *Config) ResolveShards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > geo.NumRegions {
+		n = geo.NumRegions
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // ProtocolTag returns the canonical textual form of the configured

@@ -2,6 +2,7 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"ethmeasure/internal/analysis"
 	"ethmeasure/internal/consensus"
@@ -92,6 +93,9 @@ func TestBitcoinCampaignHasNoUncles(t *testing.T) {
 func TestEthereumCampaignKeepsUncleMetrics(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.EnableTxWorkload = false
+	// Twenty virtual minutes: long enough that the tiny network
+	// reliably produces a handful of recognizable uncles.
+	cfg.Duration = 20 * time.Minute
 	campaign, err := NewCampaign(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +124,9 @@ func TestEthereumCampaignKeepsUncleMetrics(t *testing.T) {
 func TestGhostInclusiveRecognizesDeeperUncles(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.EnableTxWorkload = false
+	// Match the uncle-metrics test: a twenty-minute run gives the
+	// reference window something to recognize.
+	cfg.Duration = 20 * time.Minute
 	cfg.Protocol = consensus.Spec{
 		Name:   consensus.GhostInclusiveName,
 		Params: map[string]string{"depth": "12", "cap": "4", "decay": "0.6"},

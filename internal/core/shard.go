@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/measure"
+	"ethmeasure/internal/sim"
+)
+
+// shardSlice is one region's claim on one shard: slices fill in
+// proportion to mass, so a region split across shards spreads its
+// nodes accordingly.
+type shardSlice struct {
+	shard int
+	mass  float64
+	count int
+}
+
+// shardPicker builds the region→shard assignment for a sharded
+// campaign. Regions are laid out on [0,1) in declaration order, each
+// spanning its normalized weight; the line is then cut into equal
+// per-shard segments. A region that straddles a cut contributes a
+// slice to each side, so heavyweight regions (North America holds 34%
+// of the default distribution) split across shards instead of capping
+// the parallel speedup at the largest region's share. Each call
+// assigns the node to its region's least-filled slice (by count/mass,
+// ties to the lower shard), which keeps per-shard load near 1/shards
+// regardless of arrival order. The assignment is a pure function of
+// the call sequence, so a fixed seed gives a fixed partition.
+func shardPicker(dist *geo.Distribution, shards int) func(geo.Region) int {
+	slices := make(map[geo.Region][]shardSlice, geo.NumRegions)
+	pos := 0.0
+	for _, r := range dist.Regions() {
+		start, end := pos, pos+dist.Weight(r)
+		pos = end
+		for start < end-1e-12 {
+			shard := int(start * float64(shards))
+			if shard >= shards {
+				shard = shards - 1
+			}
+			segEnd := float64(shard+1) / float64(shards)
+			if segEnd > end {
+				segEnd = end
+			}
+			slices[r] = append(slices[r], shardSlice{shard: shard, mass: segEnd - start})
+			start = segEnd
+		}
+	}
+	return func(r geo.Region) int {
+		ss := slices[r]
+		if len(ss) == 0 {
+			// Region absent from the distribution (scenario-added nodes
+			// in unpopulated regions): spread statically.
+			return (int(r) - 1) * shards / geo.NumRegions
+		}
+		best, bestCost := 0, math.Inf(1)
+		for i := range ss {
+			if cost := float64(ss[i].count+1) / ss[i].mass; cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		ss[best].count++
+		return ss[best].shard
+	}
+}
+
+// deferRecorder adapts a vantage to the sharded engine: the record is
+// fully computed at observation time on the vantage node's shard
+// (clock offsets and all), then its emission into the record bus —
+// whose consumers are serial state — is deferred to the next window
+// barrier, where the coordinator replays deferrals in deterministic
+// (time, shard, FIFO) order.
+type deferRecorder struct {
+	d   sim.Deferrer
+	bus *measure.Bus
+}
+
+func (r *deferRecorder) RecordBlock(rec measure.BlockRecord) {
+	r.d.Defer(func() { r.bus.RecordBlock(rec) })
+}
+
+func (r *deferRecorder) RecordTx(rec measure.TxRecord) {
+	r.d.Defer(func() { r.bus.RecordTx(rec) })
+}

@@ -331,6 +331,37 @@ func (m *LatencyModel) Base(from, to Region) time.Duration {
 	return m.base[from][to]
 }
 
+// SampleFloor returns the smallest delay Sample can return for the
+// pair: the base delay scaled by the minimum jitter factor. This is
+// the per-link lookahead bound used by the sharded scheduler.
+func (m *LatencyModel) SampleFloor(from, to Region) time.Duration {
+	d := m.baseD[from][to]
+	if d == 0 { // zero-constructed model without finalize
+		d = fallbackBase
+	}
+	if m.jitter == 0 {
+		return d
+	}
+	return time.Duration(float64(d) * m.oneMinusHalf)
+}
+
+// MinSampleFloor returns the smallest delay Sample can return across
+// every pair of valid regions, diagonals included. Any two nodes —
+// even two in the same region — are at least this far apart, which
+// makes it the conservative-PDES lookahead for any partition of the
+// network.
+func (m *LatencyModel) MinSampleFloor() time.Duration {
+	min := time.Duration(0)
+	for _, a := range AllRegions() {
+		for _, b := range AllRegions() {
+			if f := m.SampleFloor(a, b); min == 0 || f < min {
+				min = f
+			}
+		}
+	}
+	return min
+}
+
 // Sample draws a one-way delay between two regions, applying jitter.
 // Jitter is asymmetric: delays can stretch more than they can shrink,
 // matching the long-tailed nature of Internet latency. A model with

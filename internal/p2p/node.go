@@ -80,14 +80,21 @@ type Observer interface {
 	ObserveTx(at sim.Time, tx *types.Transaction, from types.NodeID)
 }
 
-// Edge is a bidirectional peer link with shared known-hash caches.
-// Geth marks a hash as known by a peer both when sending it to and when
-// receiving it from that peer, so a single shared set per link captures
-// the suppression behaviour.
+// Edge is a bidirectional peer link with per-endpoint known-hash
+// caches. Geth marks a hash as known by a peer both when sending it to
+// and when receiving it from that peer; each endpoint keeps its own
+// view of that knowledge and updates it on both its sends and its
+// receives. Splitting the caches per endpoint (rather than one shared
+// set per link) keeps every cache single-writer when the two endpoints
+// live on different shards of the sharded engine; the only behavioural
+// difference is the in-flight window where the sender has marked a
+// hash the receiver has not yet seen.
 type Edge struct {
-	a, b        *Node
-	knownBlocks *hashSet
-	knownTxs    *hashSet
+	a, b         *Node
+	aKnownBlocks *hashSet
+	bKnownBlocks *hashSet
+	aKnownTxs    *hashSet
+	bKnownTxs    *hashSet
 }
 
 // Other returns the endpoint of the edge that is not n.
@@ -98,12 +105,30 @@ func (e *Edge) Other(n *Node) *Node {
 	return e.a
 }
 
+// knownBlocksFor returns n's own view of which blocks the peer across
+// this edge already has.
+func (e *Edge) knownBlocksFor(n *Node) *hashSet {
+	if e.a == n {
+		return e.aKnownBlocks
+	}
+	return e.bKnownBlocks
+}
+
+// knownTxsFor returns n's own view of which transactions the peer
+// across this edge already has.
+func (e *Edge) knownTxsFor(n *Node) *hashSet {
+	if e.a == n {
+		return e.aKnownTxs
+	}
+	return e.bKnownTxs
+}
+
 // Node is one protocol participant.
 type Node struct {
 	cfg     *Config
 	net     *simnet.Network
 	netNode *simnet.Node
-	engine  *sim.Engine
+	sched   sim.Scheduler
 	rng     *rand.Rand
 	reg     *chain.Registry
 	view    *chain.View
@@ -133,14 +158,16 @@ type Node struct {
 }
 
 // NewNode creates a protocol node bound to a network endpoint. Each
-// node gets its own chain view over the shared registry.
+// node gets its own chain view over the shared registry, schedules its
+// timers on the endpoint's shard, and draws jitter from a per-node RNG
+// stream so its randomness is independent of event interleaving.
 func NewNode(cfg *Config, net *simnet.Network, endpoint *simnet.Node, reg *chain.Registry) *Node {
 	return &Node{
 		cfg:        cfg,
 		net:        net,
 		netNode:    endpoint,
-		engine:     net.Engine(),
-		rng:        net.Engine().RNG("p2p"),
+		sched:      net.SchedulerFor(endpoint),
+		rng:        sim.NewStream(net.Engine().Seed(), "p2p", uint64(endpoint.ID)),
 		reg:        reg,
 		view:       chain.NewView(reg),
 		seenBlocks: make(map[types.Hash]bool, 256),
@@ -167,6 +194,10 @@ func (n *Node) scale(d time.Duration) time.Duration {
 
 // ID returns the node's network ID.
 func (n *Node) ID() types.NodeID { return n.netNode.ID }
+
+// Scheduler returns the scheduler the node's events run on (its shard
+// in sharded mode, the serial engine otherwise).
+func (n *Node) Scheduler() sim.Scheduler { return n.sched }
 
 // Endpoint returns the underlying network endpoint.
 func (n *Node) Endpoint() *simnet.Node { return n.netNode }
@@ -200,10 +231,12 @@ func Connect(a, b *Node) *Edge {
 		}
 	}
 	e := &Edge{
-		a:           a,
-		b:           b,
-		knownBlocks: newHashSet(a.cfg.KnownBlocksPerPeer),
-		knownTxs:    newHashSet(a.cfg.KnownTxsPerPeer),
+		a:            a,
+		b:            b,
+		aKnownBlocks: newHashSet(a.cfg.KnownBlocksPerPeer),
+		bKnownBlocks: newHashSet(b.cfg.KnownBlocksPerPeer),
+		aKnownTxs:    newHashSet(a.cfg.KnownTxsPerPeer),
+		bKnownTxs:    newHashSet(b.cfg.KnownTxsPerPeer),
 	}
 	a.edges = append(a.edges, e)
 	b.edges = append(b.edges, e)
@@ -297,9 +330,9 @@ func (n *Node) PublishBlock(b *types.Block) {
 
 // handleBlock processes an inbound full block (pushed or fetched).
 func (n *Node) handleBlock(b *types.Block, from *Edge, kind MsgKind) {
-	from.knownBlocks.Add(b.Hash)
+	from.knownBlocksFor(n).Add(b.Hash)
 	if n.Observer != nil {
-		n.Observer.ObserveBlock(n.engine.Now(), b, from.Other(n).ID(), kind)
+		n.Observer.ObserveBlock(n.sched.Now(), b, from.Other(n).ID(), kind)
 	}
 	if n.seenBlocks[b.Hash] {
 		return
@@ -312,8 +345,8 @@ func (n *Node) handleBlock(b *types.Block, from *Edge, kind MsgKind) {
 	// triggers the hash announcement.
 	headerDelay := n.scale(n.cfg.headerCheckDelay(n.rng))
 	importDelay := n.scale(n.cfg.importDelay(n.rng, len(b.TxHashes)))
-	n.engine.AfterArg(headerDelay, n, sim.Arg{A: b, K: tmPushBlock})
-	n.engine.AfterArg(headerDelay+importDelay, n, sim.Arg{A: b, K: tmFinishImport})
+	n.sched.AfterArg(headerDelay, n, sim.Arg{A: b, K: tmPushBlock})
+	n.sched.AfterArg(headerDelay+importDelay, n, sim.Arg{A: b, K: tmFinishImport})
 }
 
 // pushBlock sends the full block to ceil(sqrt(peers)) randomly chosen
@@ -324,7 +357,7 @@ func (n *Node) pushBlock(b *types.Block) {
 	}
 	targets := n.pushTmp[:0]
 	for _, e := range n.edges {
-		if !e.knownBlocks.Has(b.Hash) {
+		if !e.knownBlocksFor(n).Has(b.Hash) {
 			targets = append(targets, e)
 		}
 	}
@@ -343,7 +376,7 @@ func (n *Node) pushBlock(b *types.Block) {
 }
 
 func (n *Node) sendBlock(b *types.Block, e *Edge, kind MsgKind) {
-	e.knownBlocks.Add(b.Hash)
+	e.knownBlocksFor(n).Add(b.Hash)
 	peer := e.Other(n)
 	ev := evBlockPush
 	if kind == MsgFetchedBlock {
@@ -366,10 +399,10 @@ func (n *Node) announceBlock(b *types.Block) {
 		return
 	}
 	for _, e := range n.edges {
-		if e.knownBlocks.Has(b.Hash) {
+		if e.knownBlocksFor(n).Has(b.Hash) {
 			continue
 		}
-		e.knownBlocks.Add(b.Hash)
+		e.knownBlocksFor(n).Add(b.Hash)
 		peer := e.Other(n)
 		n.net.Send(n.netNode, peer.netNode, rlp.AnnouncementWireSize(b.Number),
 			peer, simnet.Envelope{Kind: evAnnounce, Data: b, Aux: e})
@@ -382,15 +415,15 @@ func (n *Node) announceBlock(b *types.Block) {
 // then request the block from the announcing peer if it never arrives.
 func (n *Node) handleAnnounce(b *types.Block, from *Edge) {
 	h := b.Hash
-	from.knownBlocks.Add(h)
+	from.knownBlocksFor(n).Add(h)
 	if n.Observer != nil {
-		n.Observer.ObserveAnnounce(n.engine.Now(), h, b.Number, from.Other(n).ID())
+		n.Observer.ObserveAnnounce(n.sched.Now(), h, b.Number, from.Other(n).ID())
 	}
 	if n.seenBlocks[h] || n.fetching[h] {
 		return
 	}
 	n.fetching[h] = true
-	n.engine.AfterArg(n.cfg.fetchDelay(n.rng), n, sim.Arg{A: b, B: from, K: tmFetch})
+	n.sched.AfterArg(n.cfg.fetchDelay(n.rng), n, sim.Arg{A: b, B: from, K: tmFetch})
 }
 
 // fetchTimeout fires when an announced block still has not arrived by
@@ -433,9 +466,9 @@ func (n *Node) SubmitTx(tx *types.Transaction) {
 
 // handleTx processes an inbound transaction.
 func (n *Node) handleTx(tx *types.Transaction, from *Edge) {
-	from.knownTxs.Add(tx.Hash)
+	from.knownTxsFor(n).Add(tx.Hash)
 	if n.Observer != nil {
-		n.Observer.ObserveTx(n.engine.Now(), tx, from.Other(n).ID())
+		n.Observer.ObserveTx(n.sched.Now(), tx, from.Other(n).ID())
 	}
 	if !n.knownTxs.Add(tx.Hash) {
 		return
@@ -450,10 +483,10 @@ func (n *Node) handleTx(tx *types.Transaction, from *Edge) {
 // (Geth 1.8 broadcasts transactions to all unknowing peers).
 func (n *Node) relayTx(tx *types.Transaction) {
 	for _, e := range n.edges {
-		if e.knownTxs.Has(tx.Hash) {
+		if e.knownTxsFor(n).Has(tx.Hash) {
 			continue
 		}
-		e.knownTxs.Add(tx.Hash)
+		e.knownTxsFor(n).Add(tx.Hash)
 		peer := e.Other(n)
 		n.net.Send(n.netNode, peer.netNode, tx.Size,
 			peer, simnet.Envelope{Kind: evTx, Data: tx, Aux: e})

@@ -233,6 +233,30 @@ func (e *Engine) AfterArg(d time.Duration, h Handler, arg Arg) {
 // Stop halts the run loop after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
+// NextAt returns the timestamp of the earliest pending event, or false
+// when the queue is empty.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.slab[e.heap[0]].at, true
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// It is a no-op when t is not ahead of the current time, and panics if
+// an event earlier than t is still pending (advancing past it would
+// silently reorder the run). The sharded coordinator uses this to keep
+// the serial engine's clock aligned with window barriers.
+func (e *Engine) AdvanceTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	if len(e.heap) > 0 && e.slab[e.heap[0]].at < t {
+		panic(fmt.Sprintf("sim: advancing to %v past pending event at %v", t, e.slab[e.heap[0]].at))
+	}
+	e.now = t
+}
+
 // execTop pops the earliest event, releases its slot for reuse and
 // executes it. The slot is cleared and freed before the callback runs
 // so that callbacks scheduling new events (the dominant pattern)
@@ -288,6 +312,59 @@ func (e *Engine) Step() bool {
 // reuse keeps this bounded by the high-water pending count, not the
 // total event count).
 func (e *Engine) slabSize() int { return len(e.slab) }
+
+// Scheduler is the event-scheduling surface shared by the serial
+// *Engine and a *Shard of the sharded engine. Components that only
+// need to read the clock and enqueue future work (protocol nodes,
+// network delivery) take a Scheduler so the same code runs unchanged
+// on either engine.
+type Scheduler interface {
+	Now() Time
+	Schedule(at Time, fn func())
+	ScheduleArg(at Time, h Handler, arg Arg)
+	After(d time.Duration, fn func())
+	AfterArg(d time.Duration, h Handler, arg Arg)
+}
+
+// Deferrer is implemented by schedulers that may run callbacks off the
+// serial coordinator thread (a *Shard during a parallel window). Defer
+// hands fn back to the coordinator: it runs at the next window barrier,
+// in deterministic (time, shard) order, with exclusive access to all
+// serial state. The plain *Engine intentionally does not implement
+// Deferrer — a type assertion distinguishes the two modes at setup
+// time.
+type Deferrer interface {
+	Defer(fn func())
+}
+
+// splitmixSource is a splitmix64 rand.Source64: one uint64 of state,
+// no allocation beyond the source itself. Each (seed, domain, id)
+// triple yields an independent stream, which is what lets per-node and
+// per-sender RNGs exist by the tens of thousands without the map and
+// hashing costs of Engine.RNG.
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// NewStream returns a deterministic RNG for the (domain, id) pair
+// derived from the master seed. Unlike Engine.RNG streams, these are
+// independent of engine identity and draw order elsewhere, so a
+// component's randomness stays bit-identical whether its events run on
+// the serial engine or on any shard.
+func NewStream(seed int64, domain string, id uint64) *rand.Rand {
+	state := uint64(seed) ^ fnv64(domain) ^ (id * 0x9E3779B97F4A7C15)
+	return rand.New(&splitmixSource{state: state})
+}
 
 // ExpDuration samples an exponentially distributed duration with the
 // given mean using the supplied RNG. Used for Poisson processes (block

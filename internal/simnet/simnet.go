@@ -9,11 +9,18 @@
 // the envelope is reconstructed at receive time. Campaigns deliver
 // tens of millions of messages, so this is the difference between a
 // GC-bound and a CPU-bound run at 5,000 nodes.
+//
+// Delay jitter draws from a per-sender RNG stream (derived from the
+// master seed and the sender's node ID), never from a shared stream:
+// a node's delays are bit-identical no matter how concurrent sends
+// interleave, which is what lets the sharded engine reproduce the
+// serial engine's runs exactly.
 package simnet
 
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"ethmeasure/internal/geo"
@@ -29,18 +36,27 @@ type Node struct {
 }
 
 // Network owns all nodes and delivers messages between them on the
-// simulation engine.
+// simulation engine (serial, or sharded when EnableSharding was
+// called).
 type Network struct {
 	engine  *sim.Engine
 	latency *geo.LatencyModel
-	rng     *rand.Rand
 	nodes   []*Node
+
+	// Per-sender jitter streams, parallel to nodes.
+	senderRNG []*rand.Rand
+
+	// Sharded-mode routing state: the coordinator, each node's shard
+	// (parallel to nodes), and the caller's region→shard assignment.
+	sharded *sim.Sharded
+	pick    func(geo.Region) int
+	shardOf []int32
 
 	// MinOverhead is a fixed per-message processing cost added to every
 	// delivery (kernel + serialization floor).
 	MinOverhead time.Duration
 
-	delivered uint64
+	delivered atomic.Uint64
 }
 
 // New creates a network on the given engine with the given latency model.
@@ -48,10 +64,25 @@ func New(engine *sim.Engine, latency *geo.LatencyModel) *Network {
 	return &Network{
 		engine:      engine,
 		latency:     latency,
-		rng:         engine.RNG("simnet"),
 		MinOverhead: 200 * time.Microsecond,
 	}
 }
+
+// EnableSharding routes all traffic through the sharded coordinator:
+// every node added afterwards is assigned to pick(region), same-shard
+// deliveries stay on the shard's local heap, and cross-shard
+// deliveries are exchanged at window barriers. Must be called before
+// any node is added.
+func (n *Network) EnableSharding(sharded *sim.Sharded, pick func(geo.Region) int) {
+	if len(n.nodes) > 0 {
+		panic("simnet: EnableSharding must be called before any AddNode")
+	}
+	n.sharded = sharded
+	n.pick = pick
+}
+
+// Sharded returns the sharded coordinator, or nil in serial mode.
+func (n *Network) Sharded() *sim.Sharded { return n.sharded }
 
 // AddNode registers a node in the given region with the given bandwidth
 // (bytes/second). Bandwidth must be positive.
@@ -68,6 +99,14 @@ func (n *Network) AddNode(region geo.Region, bandwidth float64) (*Node, error) {
 		Bandwidth: bandwidth,
 	}
 	n.nodes = append(n.nodes, node)
+	n.senderRNG = append(n.senderRNG, sim.NewStream(n.engine.Seed(), "simnet", uint64(node.ID)))
+	if n.sharded != nil {
+		shard := n.pick(region)
+		if shard < 0 || shard >= n.sharded.NumShards() {
+			return nil, fmt.Errorf("simnet: shard %d for region %s out of range", shard, region)
+		}
+		n.shardOf = append(n.shardOf, int32(shard))
+	}
 	return node, nil
 }
 
@@ -84,13 +123,34 @@ func (n *Network) Nodes() []*Node { return n.nodes }
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
 // Delivered returns the number of messages delivered so far.
-func (n *Network) Delivered() uint64 { return n.delivered }
+func (n *Network) Delivered() uint64 { return n.delivered.Load() }
+
+// SchedulerFor returns the scheduler that runs the given node's
+// events: its shard in sharded mode, the serial engine otherwise.
+// Protocol nodes schedule their timers here so local work stays on
+// the local heap.
+func (n *Network) SchedulerFor(node *Node) sim.Scheduler {
+	if n.sharded == nil {
+		return n.engine
+	}
+	return n.sharded.Shard(int(n.shardOf[node.ID]))
+}
+
+// ShardOf returns the shard index the node is assigned to (0 in
+// serial mode).
+func (n *Network) ShardOf(node *Node) int {
+	if n.sharded == nil {
+		return 0
+	}
+	return int(n.shardOf[node.ID])
+}
 
 // TransferDelay computes the one-way delay for a message of the given
-// size between two nodes: propagation latency (region pair, jittered) +
-// transmission time at the slower endpoint + fixed overhead.
+// size between two nodes: propagation latency (region pair, jittered,
+// drawn from the sender's stream) + transmission time at the slower
+// endpoint + fixed overhead.
 func (n *Network) TransferDelay(from, to *Node, size int) time.Duration {
-	lat := n.latency.Sample(n.rng, from.Region, to.Region)
+	lat := n.latency.Sample(n.senderRNG[from.ID], from.Region, to.Region)
 	bw := from.Bandwidth
 	if to.Bandwidth < bw {
 		bw = to.Bandwidth
@@ -121,14 +181,19 @@ type Sink interface {
 // receive time. The steady-state path performs zero allocations.
 func (n *Network) Send(from, to *Node, size int, sink Sink, env Envelope) {
 	d := n.TransferDelay(from, to, size)
-	n.engine.AfterArg(d, n, sim.Arg{A: sink, B: env.Data, C: env.Aux, U: env.Num, K: env.Kind})
+	arg := sim.Arg{A: sink, B: env.Data, C: env.Aux, U: env.Num, K: env.Kind}
+	if n.sharded == nil {
+		n.engine.AfterArg(d, n, arg)
+		return
+	}
+	n.sharded.Route(int(n.shardOf[from.ID]), int(n.shardOf[to.ID]), d, n, arg)
 }
 
 // HandleSimEvent is the engine-facing delivery trampoline: it counts
 // the message and hands the reassembled envelope to the sink. Not for
 // direct use.
 func (n *Network) HandleSimEvent(arg sim.Arg) {
-	n.delivered++
+	n.delivered.Add(1)
 	arg.A.(Sink).DeliverEnvelope(Envelope{Kind: arg.K, Data: arg.B, Aux: arg.C, Num: arg.U})
 }
 
@@ -137,10 +202,15 @@ func (n *Network) HandleSimEvent(arg sim.Arg) {
 // Send.
 func (n *Network) SendFunc(from, to *Node, size int, deliver func()) {
 	d := n.TransferDelay(from, to, size)
-	n.engine.After(d, func() {
-		n.delivered++
+	body := func() {
+		n.delivered.Add(1)
 		deliver()
-	})
+	}
+	if n.sharded == nil {
+		n.engine.After(d, body)
+		return
+	}
+	n.sharded.RouteFunc(int(n.shardOf[from.ID]), int(n.shardOf[to.ID]), d, body)
 }
 
 // Engine returns the simulation engine the network runs on.
