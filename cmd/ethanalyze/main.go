@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ethmeasure/internal/analysis"
+	"ethmeasure/internal/cliutil"
 	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/report"
@@ -39,9 +40,14 @@ func run(args []string) error {
 	var (
 		logPath = fs.String("logs", "", "campaign JSONL log file (required)")
 		topN    = fs.Int("top", 15, "pools to list individually in per-pool breakdowns")
+		version = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionLine("ethanalyze"))
+		return nil
 	}
 	if *logPath == "" {
 		return fmt.Errorf("-logs is required")

@@ -509,10 +509,15 @@ func run(args []string, w io.Writer) error {
 	shards := fs.Int("shards", 1, "event-engine shards (1 = serial, the baseline-comparable default; 0 = one per geo region up to GOMAXPROCS; non-serial entries are name-suffixed)")
 	skipDispatch := fs.Bool("skip-dispatch", false, "skip the chain protocol-dispatch microbenchmarks")
 	protocol := fs.String("protocol", "", "consensus protocol for the benchmark campaigns: name[:key=val,...] (default ethereum; non-default entries are name-suffixed)")
+	version := fs.Bool("version", false, "print build version and exit")
 	var scenFlags cliutil.StringList
 	fs.Var(&scenFlags, "scenario", "compose a scenario into the benchmark campaign: name[:key=val,...] (repeatable; measures a scenario's perf cost)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(w, cliutil.VersionLine("ethbench"))
+		return nil
 	}
 	var proto consensus.Spec
 	if *protocol != "" {

@@ -43,6 +43,7 @@ func run(args []string) error {
 		printInfra = fs.Bool("print-infra", false, "print Table I (infrastructure) and exit")
 		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this JSONL file")
 		protocol   = fs.String("protocol", "", "consensus protocol: name[:key=val,...] (default ethereum; see ethsim -list-protocols)")
+		version    = fs.Bool("version", false, "print build version and exit")
 		scens      cliutil.StringList
 	)
 	fs.Var(&scens, "scenario", "compose a scenario: name[:key=val,...] (repeatable; see ethsim -list-scenarios)")
@@ -50,6 +51,10 @@ func run(args []string) error {
 		return err
 	}
 
+	if *version {
+		fmt.Println(cliutil.VersionLine("ethmeasure"))
+		return nil
+	}
 	if *printInfra {
 		report.TableI(os.Stdout, measure.PaperInfrastructure())
 		return nil

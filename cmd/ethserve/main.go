@@ -1,0 +1,109 @@
+// Command ethserve is the campaign server: a long-running daemon that
+// accepts campaign and sweep jobs over HTTP/JSON, multiplexes them
+// over a bounded worker pool, streams live progress, and checkpoints
+// in-flight campaigns so a killed server resumes them on restart.
+//
+//	ethserve -addr :8080 -data ./ethserve-data -jobs 2
+//
+// Endpoints (see internal/serve):
+//
+//	POST   /v1/jobs              submit {"kind":"campaign",...}
+//	GET    /v1/jobs              list
+//	GET    /v1/jobs/{id}         status
+//	GET    /v1/jobs/{id}/stream  NDJSON progress stream
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/catalog           registered scenarios + protocols
+//	GET    /v1/version           build identity
+//
+// On SIGINT/SIGTERM the daemon drains: running jobs stop at their next
+// checkpoint-safe point and are requeued, so the next start resumes
+// them from their last checkpoint instead of restarting from zero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ethmeasure/internal/cliutil"
+	"ethmeasure/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		dataDir      = flag.String("data", "ethserve-data", "job state directory (persists across restarts)")
+		maxJobs      = flag.Int("jobs", 2, "max concurrently running jobs")
+		sweepWorkers = flag.Int("sweep-workers", 0, "campaign workers per sweep job (0 = GOMAXPROCS)")
+		version      = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.VersionLine("ethserve"))
+		return
+	}
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("ethserve: ")
+
+	if err := run(*addr, *dataDir, *maxJobs, *sweepWorkers); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, dataDir string, maxJobs, sweepWorkers int) error {
+	m, err := serve.Open(serve.Options{
+		Dir:          dataDir,
+		MaxJobs:      maxJobs,
+		SweepWorkers: sweepWorkers,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Listen before announcing: with -addr :0 the kernel picks the
+	// port, and scripts (the CI smoke test) read it from this line.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on http://%s (data: %s, jobs: %d)", ln.Addr(), dataDir, maxJobs)
+
+	srv := &http.Server{
+		Handler:           serve.NewServer(m),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		m.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, checkpoint-and-requeue running
+	// jobs, then exit. A second signal aborts the wait.
+	log.Printf("signal received, draining")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	m.Close()
+	log.Printf("bye")
+	return nil
+}

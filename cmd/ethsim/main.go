@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ethsim -out logs.jsonl [-preset quick|default|paper] [-seed N]
-//	       [-duration D] [-nodes N] [-no-tx] [-shards N] [-stream]
+//	       [-duration D] [-nodes N] [-no-tx] [-shards N] [-stream] [-progress]
 //	       [-protocol name[:key=val,...]]
 //	       [-scenario name[:key=val,...]]...
 //	ethsim -list-scenarios
@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -57,14 +58,20 @@ func run(args []string) error {
 		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
 		shards     = fs.Int("shards", 0, "event-engine shards (0 = one per geo region up to GOMAXPROCS, 1 = serial)")
 		stream     = fs.Bool("stream", false, "bounded-memory mode: spill records to -out during the run instead of retaining them")
+		progress   = fs.Bool("progress", false, "print live progress lines during the run")
 		listScens  = fs.Bool("list-scenarios", false, "print the scenario catalog and exit")
 		listProtos = fs.Bool("list-protocols", false, "print the consensus-protocol catalog and exit")
+		version    = fs.Bool("version", false, "print build version and exit")
 		protocol   = fs.String("protocol", "", "consensus protocol: name[:key=val,...] (default ethereum; see -list-protocols)")
 		scens      cliutil.StringList
 	)
 	fs.Var(&scens, "scenario", "compose a scenario: name[:key=val,...] (repeatable; see -list-scenarios)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(cliutil.VersionLine("ethsim"))
+		return nil
 	}
 	if *listScens {
 		printScenarioCatalog(os.Stdout)
@@ -132,7 +139,21 @@ func run(args []string) error {
 		fmt.Printf("scenarios: %s\n", strings.Join(tags, "; "))
 	}
 	start := time.Now()
-	results, err := campaign.Run()
+	var opts ethmeasure.RunOptions
+	if *progress {
+		// ~20 lines across the run, at least one per virtual minute.
+		interval := cfg.Duration / 20
+		if interval < time.Minute {
+			interval = time.Minute
+		}
+		opts.ProgressInterval = interval
+		opts.Progress = func(p ethmeasure.RunProgress) {
+			pct := 100 * float64(p.SimTime) / float64(p.Duration)
+			fmt.Printf("  %5.1f%%  t=%-8v  %d events, %d blocks, %d block records, %d tx records\n",
+				pct, p.SimTime.Round(time.Second), p.Events, p.Blocks, p.BlockRecords, p.TxRecords)
+		}
+	}
+	results, err := campaign.RunContext(context.Background(), opts)
 	if err != nil {
 		return err
 	}

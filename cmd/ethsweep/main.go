@@ -79,11 +79,16 @@ func run(args []string, stdout io.Writer) error {
 		scens    = fs.String("scenarios", "", "scenario axis: semicolon-separated specs (name[:key=val,...]; 'none' = base)")
 		protos   = fs.String("protocols", "", "consensus-protocol axis: semicolon-separated specs (ethereum;bitcoin;...)")
 		shards   = fs.Int("shards", 0, "event-engine shards per campaign (0 = one per geo region up to GOMAXPROCS, 1 = serial)")
+		version  = fs.Bool("version", false, "print build version and exit")
 		vary     cliutil.StringList
 	)
 	fs.Var(&vary, "vary", "axis=v1,v2,... (repeatable; axes: nodes, discovery, pools, churn, txrate, duration)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionLine("ethsweep"))
+		return nil
 	}
 	if *seeds < 1 {
 		return fmt.Errorf("-seeds must be at least 1, got %d", *seeds)

@@ -33,6 +33,7 @@ import (
 	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/geo"
+	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
 	"ethmeasure/internal/report"
@@ -105,6 +106,22 @@ func PaperScaleConfig() Config { return core.PaperScaleConfig() }
 
 // NewCampaign validates cfg and builds the full simulated system.
 func NewCampaign(cfg Config) (*Campaign, error) { return core.NewCampaign(cfg) }
+
+// Run-control types for Campaign.RunContext: cancellation, live
+// progress callbacks and checkpoint/resume (see internal/core).
+type (
+	// RunOptions configures one RunContext invocation.
+	RunOptions = core.RunOptions
+	// RunProgress is one live progress snapshot.
+	RunProgress = core.Progress
+	// Checkpoint is one resumable barrier of a running campaign.
+	Checkpoint = logs.Checkpoint
+)
+
+// ErrResumeDiverged reports that a resumed campaign failed fingerprint
+// verification at its checkpoint barrier — the replayed prefix did not
+// reproduce the checkpointed run bit for bit.
+var ErrResumeDiverged = core.ErrResumeDiverged
 
 // PaperPools returns the 15 named pools (plus remainder) with the
 // paper's measured power shares and behaviour calibration.

@@ -1,0 +1,132 @@
+// Serve client: submit a quick campaign job to a running ethserve and
+// follow its NDJSON stream until it finishes.
+//
+//	go run ./cmd/ethserve &        # in one terminal
+//	go run ./examples/serve        # in another
+//	go run ./examples/serve -server http://localhost:8080 -duration 30m
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// jobSpec mirrors the POST /v1/jobs body (internal/serve.JobSpec).
+type jobSpec struct {
+	Kind     string `json:"kind"`
+	Preset   string `json:"preset,omitempty"`
+	Duration string `json:"duration,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+}
+
+// job is the subset of the server's job snapshot this client renders.
+type job struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Progress *struct {
+		SimTime  time.Duration `json:"sim_time"`
+		Duration time.Duration `json:"duration"`
+		Blocks   int           `json:"blocks"`
+	} `json:"progress,omitempty"`
+	Checkpoint *struct {
+		SimTimeNs int64 `json:"sim_time_ns"`
+	} `json:"checkpoint,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "http://localhost:8080", "ethserve base URL")
+	duration := flag.String("duration", "15m", "virtual campaign duration")
+	nodes := flag.Int("nodes", 60, "regular node count")
+	flag.Parse()
+
+	// Submit.
+	body, err := json.Marshal(jobSpec{
+		Kind:     "campaign",
+		Preset:   "quick",
+		Duration: *duration,
+		Nodes:    *nodes,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*server+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("submit: %s: %s", resp.Status, e.Error)
+	}
+	var submitted job
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		return err
+	}
+	fmt.Printf("submitted job %s (%s over %d nodes)\n", submitted.ID, *duration, *nodes)
+
+	// Follow the stream: one whole job snapshot per line.
+	stream, err := http.Get(*server + "/v1/jobs/" + submitted.ID + "/stream")
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: %s", stream.Status)
+	}
+	var last job
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			return fmt.Errorf("stream decode: %w", err)
+		}
+		switch {
+		case last.Progress != nil && last.Progress.Duration > 0:
+			pct := 100 * float64(last.Progress.SimTime) / float64(last.Progress.Duration)
+			ck := ""
+			if last.Checkpoint != nil {
+				ck = fmt.Sprintf(" (checkpointed at %v)", time.Duration(last.Checkpoint.SimTimeNs))
+			}
+			fmt.Printf("  %s %5.1f%%  t=%v  %d blocks%s\n",
+				last.State, pct, last.Progress.SimTime.Round(time.Second), last.Progress.Blocks, ck)
+		default:
+			fmt.Printf("  %s\n", last.State)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	switch last.State {
+	case "done":
+		fmt.Println("job done; key metrics:")
+		for _, k := range []string{"propagation_median_ms", "fork_rate", "commit_median12_sec"} {
+			if v, ok := last.Metrics[k]; ok {
+				fmt.Printf("  %-24s %g\n", k, v)
+			}
+		}
+		return nil
+	case "failed":
+		return fmt.Errorf("job failed: %s", last.Error)
+	default:
+		return fmt.Errorf("job ended %s", last.State)
+	}
+}

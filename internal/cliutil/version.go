@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// VersionInfo is the build identity every cmd/ binary reports via its
+// -version flag and the campaign server via GET /v1/version: the
+// module version (or VCS revision) plus the toolchain, so a result
+// file or a long-running daemon can always be traced back to the code
+// that produced it.
+type VersionInfo struct {
+	// Version is the module version ("v1.2.3", "(devel)") or "unknown"
+	// outside module builds.
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, when the
+	// build recorded one; Dirty marks uncommitted local changes.
+	Revision string `json:"revision,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Version reads the running binary's build identity.
+func Version() VersionInfo {
+	v := VersionInfo{Version: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if info.Main.Version != "" {
+		v.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.modified":
+			v.Dirty = s.Value == "true"
+		}
+	}
+	return v
+}
+
+// VersionLine renders the one-line output of a -version flag.
+func VersionLine(tool string) string {
+	v := Version()
+	line := fmt.Sprintf("%s %s (%s)", tool, v.Version, v.GoVersion)
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if v.Dirty {
+			rev += "-dirty"
+		}
+		line = fmt.Sprintf("%s %s %s (%s)", tool, v.Version, rev, v.GoVersion)
+	}
+	return line
+}

@@ -22,12 +22,9 @@
 package consensus
 
 import (
-	"fmt"
-	"sort"
-	"strconv"
-	"strings"
 	"time"
 
+	"ethmeasure/internal/catalog"
 	"ethmeasure/internal/types"
 )
 
@@ -79,6 +76,10 @@ type Protocol interface {
 //
 // e.g. "ghost-inclusive:depth=10,cap=3,decay=0.5". Values must not
 // contain commas.
+//
+// Spec is a thin wrapper over the shared catalog spec
+// (internal/catalog); unlike scenario.Spec it is a distinct type so
+// its String method can substitute DefaultName for the zero value.
 type Spec struct {
 	// Name is the registered protocol name. Empty means DefaultName.
 	Name string
@@ -88,61 +89,17 @@ type Spec struct {
 }
 
 // String renders the spec in canonical textual form (params sorted by
-// key), the inverse of Parse.
+// key, an empty name rendered as DefaultName), the inverse of Parse.
 func (s Spec) String() string {
-	name := s.Name
-	if name == "" {
-		name = DefaultName
-	}
-	if len(s.Params) == 0 {
-		return name
-	}
-	keys := make([]string, 0, len(s.Params))
-	for k := range s.Params {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString(name)
-	for i, k := range keys {
-		if i == 0 {
-			b.WriteByte(':')
-		} else {
-			b.WriteByte(',')
-		}
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(s.Params[k])
-	}
-	return b.String()
+	return cat.Canonical(catalog.Spec(s))
 }
 
 // Parse reads a spec from its textual form "name[:key=val,...]". It
 // validates syntax only; names and parameter values are checked by the
 // registry when the protocol is instantiated.
 func Parse(s string) (Spec, error) {
-	name, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
-	name = strings.TrimSpace(name)
-	if name == "" {
-		return Spec{}, fmt.Errorf("consensus: empty protocol name in %q", s)
-	}
-	spec := Spec{Name: name}
-	if !hasParams {
-		return spec, nil
-	}
-	spec.Params = make(map[string]string)
-	for _, pair := range strings.Split(rest, ",") {
-		key, val, ok := strings.Cut(pair, "=")
-		key = strings.TrimSpace(key)
-		if !ok || key == "" {
-			return Spec{}, fmt.Errorf("consensus: %s: bad parameter %q (want key=val)", name, pair)
-		}
-		if _, dup := spec.Params[key]; dup {
-			return Spec{}, fmt.Errorf("consensus: %s: duplicate parameter %q", name, key)
-		}
-		spec.Params[key] = strings.TrimSpace(val)
-	}
-	return spec, nil
+	cs, err := cat.Parse(s)
+	return Spec(cs), err
 }
 
 // Params is the typed accessor a protocol factory reads its Spec
@@ -150,151 +107,43 @@ func Parse(s string) (Spec, error) {
 // mark keys as consumed; the registry rejects specs with unknown
 // (unconsumed) keys, so misspelled parameters fail fast instead of
 // silently running the default.
-type Params struct {
-	protocol string
-	raw      map[string]string
-	used     map[string]bool
-	err      error
-}
-
-func newParams(protocol string, raw map[string]string) *Params {
-	return &Params{protocol: protocol, raw: raw, used: make(map[string]bool, len(raw))}
-}
-
-func (p *Params) lookup(key string) (string, bool) {
-	p.used[key] = true
-	v, ok := p.raw[key]
-	return v, ok
-}
-
-func (p *Params) fail(key string, err error) {
-	if p.err == nil {
-		p.err = fmt.Errorf("protocol %s: parameter %s: %w", p.protocol, key, err)
-	}
-}
-
-// Int returns the integer parameter key, or def when absent.
-func (p *Params) Int(key string, def int) int {
-	v, ok := p.lookup(key)
-	if !ok {
-		return def
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		p.fail(key, err)
-		return def
-	}
-	return n
-}
-
-// Float returns the float parameter key, or def when absent.
-func (p *Params) Float(key string, def float64) float64 {
-	v, ok := p.lookup(key)
-	if !ok {
-		return def
-	}
-	f, err := strconv.ParseFloat(v, 64)
-	if err != nil {
-		p.fail(key, err)
-		return def
-	}
-	return f
-}
-
-// Err returns the first conversion error, or an unknown-key error when
-// the spec carried parameters no getter consumed.
-func (p *Params) Err() error {
-	if p.err != nil {
-		return p.err
-	}
-	var unknown []string
-	for k := range p.raw {
-		if !p.used[k] {
-			unknown = append(unknown, k)
-		}
-	}
-	if len(unknown) > 0 {
-		sort.Strings(unknown)
-		return fmt.Errorf("protocol %s: unknown parameter(s) %s", p.protocol, strings.Join(unknown, ", "))
-	}
-	return nil
-}
+type Params = catalog.Params
 
 // Registration describes one protocol kind in the catalog.
-type Registration struct {
-	// Name is the spec name the protocol is addressed by.
-	Name string
-	// Desc is a one-line description for catalogs and help output.
-	Desc string
-	// Usage documents the textual spec form with optional parameters.
-	Usage string
-	// New instantiates the protocol from parsed parameters. Factories
-	// read every parameter they accept through p's typed getters (the
-	// registry rejects unconsumed keys) and validate values eagerly.
-	New func(p *Params) (Protocol, error)
-}
+type Registration = catalog.Registration[Protocol]
 
-var registry = map[string]Registration{}
+// cat is the protocol catalog: the shared spec/params/registry
+// machinery from internal/catalog, instantiated for the Protocol
+// product type. An empty spec name resolves to DefaultName.
+var cat = catalog.New[Protocol]("consensus", "protocol", DefaultName)
 
 // Register adds a protocol kind to the catalog. Duplicate names panic:
 // registration happens in init functions, so a collision is a
 // programming error.
 func Register(r Registration) {
-	if r.Name == "" || r.New == nil {
-		panic("consensus: registration needs a name and a factory")
-	}
-	if _, dup := registry[r.Name]; dup {
-		panic("consensus: duplicate registration of " + r.Name)
-	}
-	registry[r.Name] = r
+	cat.Register(r)
 }
 
 // Build instantiates one protocol from its spec: looks up the factory,
 // runs it over the typed parameters, and rejects unknown or malformed
 // parameters. An empty spec name builds the default protocol.
 func Build(spec Spec) (Protocol, error) {
-	name := spec.Name
-	if name == "" {
-		name = DefaultName
-	}
-	reg, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("consensus: unknown protocol %q (known: %v)", name, Names())
-	}
-	p := newParams(name, spec.Params)
-	proto, err := reg.New(p)
-	if err != nil {
-		return nil, fmt.Errorf("protocol %s: %w", name, err)
-	}
-	if err := p.Err(); err != nil {
-		return nil, err
-	}
-	return proto, nil
+	return cat.Build(catalog.Spec(spec))
 }
 
 // Validate checks that a spec names a registered protocol and its
 // parameters parse; the instance is discarded.
 func Validate(spec Spec) error {
-	_, err := Build(spec)
-	return err
+	return cat.Validate(catalog.Spec(spec))
 }
 
 // Names returns the registered protocol names, sorted.
 func Names() []string {
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return cat.Names()
 }
 
 // Catalog returns every registration sorted by name — the source of
 // CLI -list-protocols output.
 func Catalog() []Registration {
-	out := make([]Registration, 0, len(registry))
-	for _, name := range Names() {
-		out = append(out, registry[name])
-	}
-	return out
+	return cat.Registrations()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -115,6 +116,10 @@ type Campaign struct {
 
 	simulated bool
 	simWall   time.Duration
+
+	// instrFP is the record fingerprinter of an instrumented run
+	// (SimulateContext with checkpointing), kept for Fingerprints.
+	instrFP *logs.RecordFingerprinter
 
 	// Snapshots taken while the simulation state is still alive, so
 	// Analyze and LogMeta keep working after ReleaseNetwork.
@@ -409,70 +414,18 @@ func (c *Campaign) ScenarioTags() []string { return c.scenarioTags }
 
 // Run executes the campaign and returns the analyzed results. It is
 // Simulate followed by Analyze; callers that want to profile the two
-// phases separately (cmd/ethbench) invoke them directly.
+// phases separately (cmd/ethbench) invoke them directly, and callers
+// needing cancellation or live progress use RunContext.
 func (c *Campaign) Run() (*Results, error) {
-	if err := c.Simulate(); err != nil {
-		return nil, err
-	}
-	return c.Analyze()
+	return c.RunContext(context.Background(), RunOptions{})
 }
 
 // Simulate executes the simulation phase: the full virtual campaign,
 // with every measurement record streaming through the bus. It also
-// completes the spill file (chain dump) when one is configured.
+// completes the spill file (chain dump) when one is configured. It is
+// SimulateContext with a background context and no instrumentation.
 func (c *Campaign) Simulate() error {
-	if c.simulated {
-		return fmt.Errorf("core: campaign already simulated")
-	}
-	c.simulated = true
-	start := time.Now()
-	c.miner.Start(c.cfg.Duration)
-	if c.gen != nil {
-		c.gen.Start(c.cfg.Duration)
-	}
-	// Interventions schedule their timed events in composition order
-	// (the legacy churn driver started in exactly this position).
-	for _, s := range c.scenarios {
-		if iv, ok := s.(scenario.Intervention); ok {
-			if err := iv.Start(c.scenarioEnv); err != nil {
-				return fmt.Errorf("core: scenario %s: %w", s.Name(), err)
-			}
-		}
-	}
-	var runErr error
-	if c.sharded != nil {
-		_, runErr = c.sharded.Run(c.cfg.Duration)
-	} else {
-		_, runErr = c.engine.Run(c.cfg.Duration)
-	}
-	if runErr != nil {
-		if c.spill != nil {
-			// Best effort: flush what was recorded and release the
-			// descriptor; the simulation error takes precedence.
-			c.spill.Close()
-			c.spill = nil
-		}
-		return fmt.Errorf("core: simulation: %w", runErr)
-	}
-	c.events = c.engine.EventsRun()
-	if c.sharded != nil {
-		c.events = c.sharded.EventsRun()
-	}
-	c.delivered = c.network.Delivered()
-	if c.recorder != nil {
-		c.dataset.Blocks = c.recorder.Blocks
-		c.dataset.Txs = c.recorder.Txs
-	}
-	if c.spill != nil {
-		logs.WriteChain(c.spill.Writer, c.registry)
-		if err := c.spill.Close(); err != nil {
-			return fmt.Errorf("core: spill %s: %w", c.cfg.SpillPath, err)
-		}
-		c.spill = nil
-	}
-	c.scenarioRes = c.snapshotScenarios()
-	c.simWall = time.Since(start)
-	return nil
+	return c.SimulateContext(context.Background(), RunOptions{})
 }
 
 // snapshotScenarios folds the composed scenarios into the result

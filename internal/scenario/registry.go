@@ -1,56 +1,30 @@
 package scenario
 
 import (
-	"fmt"
-	"sort"
+	"ethmeasure/internal/catalog"
 )
 
 // Registration describes one scenario kind in the catalog.
-type Registration struct {
-	// Name is the spec name the scenario is addressed by.
-	Name string
-	// Desc is a one-line description for catalogs and help output.
-	Desc string
-	// Usage documents the textual spec form with optional parameters.
-	Usage string
-	// New instantiates the scenario from parsed parameters. Factories
-	// read every parameter they accept through p's typed getters (the
-	// registry rejects unconsumed keys) and validate values eagerly.
-	New func(p *Params) (Scenario, error)
-}
+type Registration = catalog.Registration[Scenario]
 
-var registry = map[string]Registration{}
+// cat is the scenario catalog: the shared spec/params/registry
+// machinery from internal/catalog, instantiated for the Scenario
+// product type. Scenarios have no default name — an empty spec name is
+// an error.
+var cat = catalog.New[Scenario]("scenario", "scenario", "")
 
 // Register adds a scenario kind to the catalog. Duplicate names panic:
 // registration happens in init functions, so a collision is a
 // programming error.
 func Register(r Registration) {
-	if r.Name == "" || r.New == nil {
-		panic("scenario: registration needs a name and a factory")
-	}
-	if _, dup := registry[r.Name]; dup {
-		panic("scenario: duplicate registration of " + r.Name)
-	}
-	registry[r.Name] = r
+	cat.Register(r)
 }
 
 // New instantiates one scenario from its spec: looks up the factory,
 // runs it over the typed parameters, and rejects unknown or malformed
 // parameters.
 func New(spec Spec) (Scenario, error) {
-	reg, ok := registry[spec.Name]
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown scenario %q (known: %v)", spec.Name, Names())
-	}
-	p := newParams(spec.Name, spec.Params)
-	s, err := reg.New(p)
-	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
-	}
-	if err := p.Err(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return cat.Build(spec)
 }
 
 // Build instantiates a spec list in order.
@@ -72,26 +46,16 @@ func Build(specs []Spec) ([]Scenario, error) {
 // Validate checks that a spec names a registered scenario and its
 // parameters parse; the instance is discarded.
 func Validate(spec Spec) error {
-	_, err := New(spec)
-	return err
+	return cat.Validate(spec)
 }
 
 // Names returns the registered scenario names, sorted.
 func Names() []string {
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return cat.Names()
 }
 
 // Catalog returns every registration sorted by name — the source of
 // CLI -list-scenarios output.
 func Catalog() []Registration {
-	out := make([]Registration, 0, len(registry))
-	for _, name := range Names() {
-		out = append(out, registry[name])
-	}
-	return out
+	return cat.Registrations()
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"ethmeasure/internal/catalog"
 	"ethmeasure/internal/geo"
 )
 
@@ -142,7 +143,7 @@ func TestDefaultsInstantiate(t *testing.T) {
 }
 
 func TestParamsTypedGetters(t *testing.T) {
-	p := newParams("t", map[string]string{
+	p := catalog.NewParams("scenario", "t", map[string]string{
 		"i": "7", "f": "0.5", "d": "90s", "r": "EA+NA", "one": "WE", "s": "x",
 	})
 	if got := p.Int("i", 0); got != 7 {

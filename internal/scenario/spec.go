@@ -1,13 +1,7 @@
 package scenario
 
 import (
-	"fmt"
-	"sort"
-	"strconv"
-	"strings"
-	"time"
-
-	"ethmeasure/internal/geo"
+	"ethmeasure/internal/catalog"
 )
 
 // Spec names one scenario plus its parameters — the serializable,
@@ -17,66 +11,24 @@ import (
 //
 // e.g. "partition:a=EA+SEA,start=5m,dur=10m". Values must not contain
 // commas; region lists join codes with '+'.
-type Spec struct {
-	// Name is the registered scenario name ("churn", "partition", ...).
-	Name string
-	// Params are the scenario's key=value parameters. Nil means all
-	// defaults.
-	Params map[string]string
-}
+//
+// Spec is the shared catalog spec (internal/catalog): the parsing,
+// canonicalization and typed-parameter machinery is one implementation
+// shared with the consensus-protocol catalog.
+type Spec = catalog.Spec
 
-// String renders the spec in canonical textual form (params sorted by
-// key), the inverse of Parse.
-func (s Spec) String() string {
-	if len(s.Params) == 0 {
-		return s.Name
-	}
-	keys := make([]string, 0, len(s.Params))
-	for k := range s.Params {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString(s.Name)
-	for i, k := range keys {
-		if i == 0 {
-			b.WriteByte(':')
-		} else {
-			b.WriteByte(',')
-		}
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(s.Params[k])
-	}
-	return b.String()
-}
+// Params is the typed accessor a scenario factory reads its Spec
+// parameters through. Getters record the first conversion error and
+// mark keys as consumed; the registry rejects specs with unknown
+// (unconsumed) keys, so misspelled parameters fail fast instead of
+// silently running the default.
+type Params = catalog.Params
 
 // Parse reads a spec from its textual form "name[:key=val,...]". It
 // validates syntax only; names and parameter values are checked by the
 // registry when the scenario is instantiated.
 func Parse(s string) (Spec, error) {
-	name, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
-	name = strings.TrimSpace(name)
-	if name == "" {
-		return Spec{}, fmt.Errorf("scenario: empty scenario name in %q", s)
-	}
-	spec := Spec{Name: name}
-	if !hasParams {
-		return spec, nil
-	}
-	spec.Params = make(map[string]string)
-	for _, pair := range strings.Split(rest, ",") {
-		key, val, ok := strings.Cut(pair, "=")
-		key = strings.TrimSpace(key)
-		if !ok || key == "" {
-			return Spec{}, fmt.Errorf("scenario: %s: bad parameter %q (want key=val)", name, pair)
-		}
-		if _, dup := spec.Params[key]; dup {
-			return Spec{}, fmt.Errorf("scenario: %s: duplicate parameter %q", name, key)
-		}
-		spec.Params[key] = strings.TrimSpace(val)
-	}
-	return spec, nil
+	return cat.Parse(s)
 }
 
 // Tags renders a spec list in canonical form, preserving order — the
@@ -90,136 +42,4 @@ func Tags(specs []Spec) []string {
 		tags[i] = s.String()
 	}
 	return tags
-}
-
-// Params is the typed accessor a scenario factory reads its Spec
-// parameters through. Getters record the first conversion error and
-// mark keys as consumed; the registry rejects specs with unknown
-// (unconsumed) keys, so misspelled parameters fail fast instead of
-// silently running the default.
-type Params struct {
-	scenario string
-	raw      map[string]string
-	used     map[string]bool
-	err      error
-}
-
-func newParams(scenario string, raw map[string]string) *Params {
-	return &Params{scenario: scenario, raw: raw, used: make(map[string]bool, len(raw))}
-}
-
-func (p *Params) lookup(key string) (string, bool) {
-	p.used[key] = true
-	v, ok := p.raw[key]
-	return v, ok
-}
-
-func (p *Params) fail(key string, err error) {
-	if p.err == nil {
-		p.err = fmt.Errorf("scenario %s: parameter %s: %w", p.scenario, key, err)
-	}
-}
-
-// Str returns the string parameter key, or def when absent.
-func (p *Params) Str(key, def string) string {
-	if v, ok := p.lookup(key); ok {
-		return v
-	}
-	return def
-}
-
-// Int returns the integer parameter key, or def when absent.
-func (p *Params) Int(key string, def int) int {
-	v, ok := p.lookup(key)
-	if !ok {
-		return def
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		p.fail(key, err)
-		return def
-	}
-	return n
-}
-
-// Float returns the float parameter key, or def when absent.
-func (p *Params) Float(key string, def float64) float64 {
-	v, ok := p.lookup(key)
-	if !ok {
-		return def
-	}
-	f, err := strconv.ParseFloat(v, 64)
-	if err != nil {
-		p.fail(key, err)
-		return def
-	}
-	return f
-}
-
-// Dur returns the duration parameter key ("5m", "30s"), or def when
-// absent.
-func (p *Params) Dur(key string, def time.Duration) time.Duration {
-	v, ok := p.lookup(key)
-	if !ok {
-		return def
-	}
-	d, err := time.ParseDuration(v)
-	if err != nil {
-		p.fail(key, err)
-		return def
-	}
-	return d
-}
-
-// Regions returns the region-list parameter key ("EA+SEA", codes or
-// full names joined by '+'), or nil when absent.
-func (p *Params) Regions(key string) []geo.Region {
-	v, ok := p.lookup(key)
-	if !ok {
-		return nil
-	}
-	parts := strings.Split(v, "+")
-	out := make([]geo.Region, 0, len(parts))
-	for _, part := range parts {
-		r, err := geo.ParseRegion(strings.TrimSpace(part))
-		if err != nil {
-			p.fail(key, err)
-			return nil
-		}
-		out = append(out, r)
-	}
-	return out
-}
-
-// Region returns a single-region parameter, or def when absent.
-func (p *Params) Region(key string, def geo.Region) geo.Region {
-	v, ok := p.lookup(key)
-	if !ok {
-		return def
-	}
-	r, err := geo.ParseRegion(v)
-	if err != nil {
-		p.fail(key, err)
-		return def
-	}
-	return r
-}
-
-// Err returns the first conversion error, or an unknown-key error when
-// the spec carried parameters no getter consumed.
-func (p *Params) Err() error {
-	if p.err != nil {
-		return p.err
-	}
-	var unknown []string
-	for k := range p.raw {
-		if !p.used[k] {
-			unknown = append(unknown, k)
-		}
-	}
-	if len(unknown) > 0 {
-		sort.Strings(unknown)
-		return fmt.Errorf("scenario %s: unknown parameter(s) %s", p.scenario, strings.Join(unknown, ", "))
-	}
-	return nil
 }

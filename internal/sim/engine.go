@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,7 +65,7 @@ type Engine struct {
 	heap    []int32 // pending slot indices ordered by (at, seq)
 	free    []int32 // recycled slot indices (LIFO for cache locality)
 	seq     uint64
-	stopped bool
+	stopped atomic.Bool // atomic: Stop may be called from another goroutine
 	ran     uint64
 	seed    int64
 	streams map[string]*rand.Rand
@@ -231,7 +232,9 @@ func (e *Engine) AfterArg(d time.Duration, h Handler, arg Arg) {
 }
 
 // Stop halts the run loop after the currently executing event returns.
-func (e *Engine) Stop() { e.stopped = true }
+// Unlike every other Engine method it is safe to call from another
+// goroutine — the campaign server cancels in-flight jobs this way.
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // NextAt returns the timestamp of the earliest pending event, or false
 // when the queue is empty.
@@ -281,14 +284,14 @@ func (e *Engine) execTop() {
 // the horizon still run. It returns the virtual time at which the run
 // ended and ErrStopped if the engine was stopped explicitly.
 func (e *Engine) Run(horizon Time) (Time, error) {
-	e.stopped = false
+	e.stopped.Store(false)
 	for len(e.heap) > 0 {
 		if e.slab[e.heap[0]].at > horizon {
 			e.now = horizon
 			return e.now, nil
 		}
 		e.execTop()
-		if e.stopped {
+		if e.stopped.Load() {
 			return e.now, ErrStopped
 		}
 	}

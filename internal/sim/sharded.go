@@ -444,7 +444,7 @@ func (sh *Sharded) Run(horizon Time) (Time, error) {
 			// work at tg into any shard, which must sort ahead of the
 			// shard's own later arrivals.
 			sh.global.execTop()
-			if sh.global.stopped {
+			if sh.global.stopped.Load() {
 				sh.stopped.Store(true)
 			}
 		case sReady:

@@ -64,8 +64,18 @@ type Runner struct {
 	// OnResult, when set, observes each finished run. Calls are
 	// serialized by the runner and report monotonically increasing
 	// done counts; execution order across workers is nondeterministic,
-	// but the result slice's order never is.
+	// but the result slice's order never is. Runs restored from
+	// Completed are reported through the same hook, before any live
+	// run, in index order.
 	OnResult func(done, total int, r *RunResult)
+
+	// Completed seeds result slots from a previous, interrupted sweep,
+	// keyed by Run.Index (the matrix expansion position — stable
+	// identity, since expansion is deterministic). A slot whose seeded
+	// result is Ok() is not re-executed: its result is reused verbatim,
+	// which is what makes sweep jobs resumable at run granularity.
+	// Failed or skipped seeds are ignored and their runs re-execute.
+	Completed map[int]RunResult
 
 	// runFn executes one campaign; tests stub it to inject failures
 	// and panics. Nil means the real build-and-run path.
@@ -96,21 +106,39 @@ func (rn *Runner) Run(ctx context.Context, m *Matrix) ([]RunResult, error) {
 		ctx = context.Background()
 	}
 
+	results := make([]RunResult, len(runs))
+	executed := make([]bool, len(runs))
+	done := 0
+	// Restore previously completed runs before anything executes: their
+	// slots are final, the hook sees them first (in index order), and
+	// the feed below never dispatches them.
+	for i := range runs {
+		prev, ok := rn.Completed[runs[i].Index]
+		if !ok || !prev.Ok() {
+			continue
+		}
+		results[i] = prev
+		results[i].Run = runs[i]
+		executed[i] = true
+		done++
+		if rn.OnResult != nil {
+			rn.OnResult(done, len(runs), &results[i])
+		}
+	}
+	pending := len(runs) - done
+
 	workers := rn.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	if workers > len(runs) {
-		workers = len(runs)
+	if workers > pending {
+		workers = pending
 	}
 
-	results := make([]RunResult, len(runs))
-	executed := make([]bool, len(runs))
 	jobs := make(chan int)
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex // guards done + OnResult
-		done int
+		wg sync.WaitGroup
+		mu sync.Mutex // guards done + OnResult
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -131,6 +159,9 @@ func (rn *Runner) Run(ctx context.Context, m *Matrix) ([]RunResult, error) {
 
 feed:
 	for i := range runs {
+		if executed[i] {
+			continue // restored from Completed
+		}
 		select {
 		case jobs <- i:
 		case <-ctx.Done():

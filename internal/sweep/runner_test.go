@@ -437,3 +437,81 @@ func TestRunnerDefaultsWorkers(t *testing.T) {
 		t.Error("DefaultWorkers < 1")
 	}
 }
+
+func TestRunnerResumesFromCompleted(t *testing.T) {
+	stub := func(cfg core.Config) (*core.Results, error) {
+		return &core.Results{
+			Propagation: &analysis.PropagationResult{Blocks: 1, MedianMs: float64(cfg.Seed)},
+		}, nil
+	}
+	m := &Matrix{Base: testConfig(), Seeds: Seeds(1, 6)}
+
+	// Reference: the full sweep, uninterrupted.
+	full := &Runner{Workers: 2, runFn: stub}
+	want, err := full.Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed: runs 0, 2 and 3 completed before the "crash"; one failed
+	// slot rides along and must be re-executed, not reused.
+	completed := map[int]RunResult{
+		0: want[0],
+		2: want[2],
+		3: want[3],
+		4: {Run: want[4].Run, Err: errors.New("crashed mid-run")},
+	}
+	var reran []int
+	var mu sync.Mutex
+	resumed := &Runner{
+		Workers:   2,
+		Completed: completed,
+		runFn: func(cfg core.Config) (*core.Results, error) {
+			mu.Lock()
+			reran = append(reran, int(cfg.Seed))
+			mu.Unlock()
+			return stub(cfg)
+		},
+		OnResult: func(done, total int, r *RunResult) {
+			if total != 6 {
+				t.Errorf("total = %d", total)
+			}
+		},
+	}
+	got, err := resumed.Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("results = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Run.Index != want[i].Run.Index || !metricsEqual(got[i].Metrics, want[i].Metrics) {
+			t.Errorf("slot %d differs after resume", i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reran) != 3 {
+		t.Fatalf("re-executed %d runs (%v), want 3 (indices 1, 4, 5)", len(reran), reran)
+	}
+	for _, seed := range reran {
+		if idx := seed - 1; idx != 1 && idx != 4 && idx != 5 {
+			t.Errorf("re-executed preserved run with seed %d", seed)
+		}
+	}
+
+	// Aggregates over restored and uninterrupted results match exactly.
+	aggWant := Aggregate(want)
+	aggGot := Aggregate(got)
+	var bufW, bufG bytes.Buffer
+	if err := aggWant.WriteJSON(&bufW); err != nil {
+		t.Fatal(err)
+	}
+	if err := aggGot.WriteJSON(&bufG); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufW.Bytes(), bufG.Bytes()) {
+		t.Error("aggregate JSON differs between resumed and uninterrupted sweep")
+	}
+}
