@@ -6,8 +6,8 @@
 // Usage:
 //
 //	ethmeasure [-preset quick|default|paper] [-seed N] [-duration D]
-//	           [-nodes N] [-txrate R] [-print-infra] [-logs PATH]
-//	           [-protocol name[:key=val,...]]
+//	           [-nodes N] [-txrate R] [-shards N] [-print-infra]
+//	           [-logs PATH] [-protocol name[:key=val,...]]
 package main
 
 import (
@@ -40,6 +40,7 @@ func run(args []string) error {
 		nodes      = fs.Int("nodes", 0, "override regular node count")
 		txRate     = fs.Float64("txrate", 0, "override transaction rate (tx/s)")
 		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
+		shards     = fs.Int("shards", 0, "event-engine shards (0 = one per geo region up to GOMAXPROCS, 1 = serial)")
 		printInfra = fs.Bool("print-infra", false, "print Table I (infrastructure) and exit")
 		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this JSONL file")
 		protocol   = fs.String("protocol", "", "consensus protocol: name[:key=val,...] (default ethereum; see ethsim -list-protocols)")
@@ -85,6 +86,10 @@ func run(args []string) error {
 	if *noTx {
 		cfg.EnableTxWorkload = false
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
+	}
+	cfg.Shards = *shards
 	if *protocol != "" {
 		spec, err := ethmeasure.ParseProtocol(*protocol)
 		if err != nil {

@@ -81,6 +81,10 @@ type Results struct {
 type Campaign struct {
 	cfg Config
 
+	// pool, when non-nil, is the warm-run pool this campaign draws its
+	// recyclable state from (see Pool).
+	pool *Pool
+
 	// proto is the consensus rule set built from cfg.Protocol; the
 	// registry, miner and analyses all dispatch through it.
 	proto consensus.Protocol
@@ -161,8 +165,13 @@ func (c *Campaign) build() error {
 			ApplyCapacity(cfg)
 		}
 	}
-	c.engine = sim.NewEngine(cfg.Seed)
-	c.network = simnet.New(c.engine, cfg.Latency)
+	if c.pool != nil {
+		c.engine = c.pool.takeEngine(cfg.Seed)
+		c.network = c.pool.takeNetwork(c.engine, cfg.Latency)
+	} else {
+		c.engine = sim.NewEngine(cfg.Seed)
+		c.network = simnet.New(c.engine, cfg.Latency)
+	}
 	if shards := cfg.ResolveShards(); shards > 1 {
 		// Conservative PDES: the lookahead is the smallest delay any
 		// message can take — the latency model's floor over every region
@@ -170,7 +179,11 @@ func (c *Campaign) build() error {
 		// plus the fixed per-message overhead. Sharding must be enabled
 		// before any node exists so every node gets a shard.
 		lookahead := cfg.Latency.MinSampleFloor() + c.network.MinOverhead
-		c.sharded = sim.NewSharded(c.engine, shards, lookahead)
+		if c.pool != nil {
+			c.sharded = c.pool.takeSharded(c.engine, shards, lookahead)
+		} else {
+			c.sharded = sim.NewSharded(c.engine, shards, lookahead)
+		}
 		c.network.EnableSharding(c.sharded, shardPicker(cfg.NodeDistribution, shards))
 	}
 	blockIssuer := types.NewHashIssuer(1)
@@ -188,7 +201,11 @@ func (c *Campaign) build() error {
 		InterBlock: cfg.Mining.InterBlockTime,
 		Duration:   cfg.Duration,
 	}
-	c.collector = analysis.NewCollector(c.dataset, cfg.RedundancyVantage)
+	if c.pool != nil {
+		c.collector = c.pool.takeCollector(c.dataset, cfg.RedundancyVantage)
+	} else {
+		c.collector = analysis.NewCollector(c.dataset, cfg.RedundancyVantage)
+	}
 	c.bus = measure.NewBus(c.collector)
 	if cfg.RetainRecords {
 		c.recorder = measure.NewMemoryRecorder()
@@ -205,7 +222,7 @@ func (c *Campaign) build() error {
 		if err != nil {
 			return err
 		}
-		node := p2p.NewNode(&cfg.P2P, c.network, endpoint, c.registry)
+		node := c.newP2PNode(endpoint)
 		lo, hi := cfg.NodeProcSpeedMin, cfg.NodeProcSpeedMax
 		if hi > lo {
 			node.SetProcSpeed(lo + speedRNG.Float64()*(hi-lo))
@@ -233,7 +250,7 @@ func (c *Campaign) build() error {
 			if err != nil {
 				return err
 			}
-			gw := p2p.NewNode(&cfg.P2P, c.network, endpoint, c.registry)
+			gw := c.newP2PNode(endpoint)
 			gw.SetProcSpeed(cfg.GatewayProcSpeed)
 			p2p.ConnectToRandom(c.engine.RNG("topology"), gw, c.regular, cfg.GatewayPeers)
 			gws = append(gws, gw)
@@ -252,7 +269,7 @@ func (c *Campaign) build() error {
 		if err != nil {
 			return err
 		}
-		node := p2p.NewNode(&cfg.P2P, c.network, endpoint, c.registry)
+		node := c.newP2PNode(endpoint)
 		node.SetProcSpeed(cfg.VantageProcSpeed)
 		peers := vs.Peers
 		if peers > len(c.regular) {
@@ -355,6 +372,15 @@ func (c *Campaign) build() error {
 		c.bus.Attach(spill)
 	}
 	return nil
+}
+
+// newP2PNode builds one protocol node, drawing on the pool's recycler
+// when the campaign is pooled.
+func (c *Campaign) newP2PNode(endpoint *simnet.Node) *p2p.Node {
+	if c.pool != nil {
+		return c.pool.rec.NewNode(&c.cfg.P2P, c.network, endpoint, c.registry)
+	}
+	return p2p.NewNode(&c.cfg.P2P, c.network, endpoint, c.registry)
 }
 
 // Engine exposes the serial simulation engine (tests and diagnostics).

@@ -212,7 +212,7 @@ func DefaultConfig() Config {
 		GatewayProcSpeed:       0.5,
 		NodeProcSpeedMin:       0.4,
 		NodeProcSpeedMax:       3.0,
-		Latency:                geo.DefaultLatencyModel(),
+		Latency:                geo.SharedDefaultLatencyModel(),
 		NodeDistribution:       geo.GlobalNodeDistribution(),
 		SenderDistribution:     geo.GlobalSenderDistribution(),
 		Vantages: []VantageSpec{

@@ -155,6 +155,25 @@ func (s *U64) Remove(k uint64) bool {
 	}
 }
 
+// Clear removes every member while keeping the allocated table and
+// filter, so a recycled set refills without reallocating. Table size
+// only affects probe paths, never membership answers, so a cleared set
+// is observationally identical to a freshly constructed one.
+func (s *U64) Clear() {
+	if s.n == 0 && !s.hasZero {
+		// Already empty: every table slot is zero (Remove zeroes slots
+		// as it compacts). Filter bits can be stale after Removes, but
+		// a stale bit only costs a probe, never correctness — and the
+		// skip makes double-Clear (scrub at reclaim, re-clear at reuse)
+		// free.
+		return
+	}
+	clear(s.table)
+	clear(s.filter)
+	s.n = 0
+	s.hasZero = false
+}
+
 // Len returns the number of members.
 func (s *U64) Len() int {
 	if s.hasZero {

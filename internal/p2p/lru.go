@@ -30,6 +30,28 @@ func newHashSet(capacity int) *hashSet {
 	return &hashSet{capacity: capacity, set: hashset.New(capacity)}
 }
 
+// reset returns the set to the state newHashSet(capacity) would
+// produce while keeping the ring's backing array and the open-addressed
+// table, so recycled caches refill without reallocating.
+func (s *hashSet) reset(capacity int) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	s.capacity = capacity
+	s.ring = s.ring[:0]
+	s.pos = 0
+	s.set.Clear()
+}
+
+// scrub is reset without the capacity change: it empties the set in
+// place so the table sweep runs at reclaim time instead of on the next
+// run's build path (a later reset on a scrubbed set is free).
+func (s *hashSet) scrub() {
+	s.ring = s.ring[:0]
+	s.pos = 0
+	s.set.Clear()
+}
+
 // Add inserts h, evicting the oldest entry when full. It reports
 // whether h was newly added.
 func (s *hashSet) Add(h types.Hash) bool {

@@ -155,6 +155,10 @@ type Node struct {
 	// TxSink, when non-nil, receives every first-seen transaction
 	// (mining-pool gateways feed their txpool from it).
 	TxSink func(tx *types.Transaction)
+
+	// rec, when non-nil, is the warm-run pool this node belongs to;
+	// Connect draws recycled edges from it.
+	rec *Recycler
 }
 
 // NewNode creates a protocol node bound to a network endpoint. Each
@@ -230,14 +234,7 @@ func Connect(a, b *Node) *Edge {
 			}
 		}
 	}
-	e := &Edge{
-		a:            a,
-		b:            b,
-		aKnownBlocks: newHashSet(a.cfg.KnownBlocksPerPeer),
-		bKnownBlocks: newHashSet(b.cfg.KnownBlocksPerPeer),
-		aKnownTxs:    newHashSet(a.cfg.KnownTxsPerPeer),
-		bKnownTxs:    newHashSet(b.cfg.KnownTxsPerPeer),
-	}
+	e := newEdge(a, b)
 	a.edges = append(a.edges, e)
 	b.edges = append(b.edges, e)
 	a.peerBits.set(int(b.ID()))

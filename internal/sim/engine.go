@@ -79,6 +79,35 @@ func NewEngine(seed int64) *Engine {
 	}
 }
 
+// Reset returns the engine to the state NewEngine(seed) would produce
+// while keeping the slab, heap and free-list backing arrays, so a
+// recycled engine schedules its first events without growing anything.
+// The slab is zeroed over its full capacity — the GC scans a slice's
+// whole backing array, so stale handler/closure references beyond len
+// would otherwise pin the previous run's object graph. Named RNG
+// streams are dropped and lazily recreated by RNG, which reproduces
+// them bit-identically from the new seed.
+func (e *Engine) Reset(seed int64) {
+	// Only the written prefix needs zeroing (releasing the closure and
+	// payload references the GC would otherwise keep reachable through
+	// the backing array): slots past len are either fresh from the
+	// allocator — events hold pointers, so slice growth always hands
+	// back zeroed memory — or were zeroed by a previous Reset, and
+	// truncating after the clear restores that invariant.
+	clear(e.slab)
+	e.slab = e.slab[:0]
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	e.seq = 0
+	e.now = 0
+	e.ran = 0
+	e.seed = seed
+	e.stopped.Store(false)
+	if e.streams != nil {
+		clear(e.streams)
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -367,6 +396,17 @@ func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
 func NewStream(seed int64, domain string, id uint64) *rand.Rand {
 	state := uint64(seed) ^ fnv64(domain) ^ (id * 0x9E3779B97F4A7C15)
 	return rand.New(&splitmixSource{state: state})
+}
+
+// ReseedStream re-seeds a stream previously returned by NewStream to
+// the exact state a fresh NewStream(seed, domain, id) call would have.
+// Warm-run pools use this to recycle per-node RNGs: the splitmix source
+// is one word of state, and Seed both installs it and resets the
+// *rand.Rand read buffer, so the recycled stream's draw sequence is
+// bit-identical to a cold one.
+func ReseedStream(r *rand.Rand, seed int64, domain string, id uint64) {
+	state := uint64(seed) ^ fnv64(domain) ^ (id * 0x9E3779B97F4A7C15)
+	r.Seed(int64(state))
 }
 
 // ExpDuration samples an exponentially distributed duration with the

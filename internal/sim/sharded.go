@@ -91,6 +91,11 @@ type Sharded struct {
 	parallel bool
 	stopped  atomic.Bool
 	done     chan int
+
+	// scrubbed records that Scrub already swept the shard queues and
+	// slabs, letting NewShardedReusing skip the sweeps on the build
+	// path.
+	scrubbed bool
 }
 
 // NewSharded wraps the given serial engine as the global scheduler of
@@ -127,6 +132,76 @@ func NewSharded(global *Engine, numShards int, lookahead Time) *Sharded {
 		sh.shards[i] = s
 	}
 	return sh
+}
+
+// NewShardedReusing is NewSharded drawing on a previous run's
+// coordinator: when old is non-nil and its shard count matches, the
+// shard engines, exchange queues and deferred buffers are reset in
+// place (keeping their backing arrays) instead of reallocated. Any
+// mismatch falls back to a fresh NewSharded. The reset state is
+// bit-identical to cold construction — capacity is the only thing
+// carried over, and capacity is never observable by the simulation.
+func NewShardedReusing(old *Sharded, global *Engine, numShards int, lookahead Time) *Sharded {
+	if old == nil || len(old.shards) != numShards {
+		return NewSharded(global, numShards, lookahead)
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: lookahead must be positive, got %v", lookahead))
+	}
+	old.global = global
+	old.lookahead = lookahead
+	old.parallel = false
+	old.stopped.Store(false)
+	scrubbed := old.scrubbed
+	old.scrubbed = false
+	for _, s := range old.shards {
+		// Always re-seed (the new run's seed differs); the slab sweep
+		// inside Reset is free when Scrub already emptied the engine.
+		s.eng.Reset(global.Seed())
+		if scrubbed {
+			continue
+		}
+		scrubShard(s)
+	}
+	return old
+}
+
+// Scrub sweeps every shard back to its post-construction state ahead
+// of time, so a later NewShardedReusing call on this instance is pure
+// field reassignment. Pools call it at recycle time, moving the queue
+// and slab sweeps off the next run's build path. Safe only between
+// runs (never concurrently with Run).
+func (sh *Sharded) Scrub() {
+	for _, s := range sh.shards {
+		s.eng.Reset(s.eng.Seed())
+		scrubShard(s)
+	}
+	sh.scrubbed = true
+}
+
+// scrubShard empties one shard's cross-shard queues and deferred ring.
+func scrubShard(s *Shard) {
+	for d := range s.outbox {
+		s.outbox[d] = clearXevs(s.outbox[d])
+		s.outMin[d] = maxTime
+	}
+	for src := range s.inbox {
+		s.inbox[src] = clearXevs(s.inbox[src])
+	}
+	s.pendingMin = maxTime
+	def := s.deferred[:cap(s.deferred)]
+	clear(def)
+	s.deferred = def[:0]
+	s.defHead = 0
+}
+
+// clearXevs zeroes a queue over its full capacity (releasing closure
+// and handler references the GC would otherwise keep reachable through
+// the backing array) and truncates it for reuse.
+func clearXevs(q []xev) []xev {
+	q = q[:cap(q)]
+	clear(q)
+	return q[:0]
 }
 
 // Global returns the serial engine: the scheduler for mining,

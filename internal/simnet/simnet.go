@@ -57,6 +57,12 @@ type Network struct {
 	MinOverhead time.Duration
 
 	delivered atomic.Uint64
+
+	// Warm-run spares: node structs and jitter streams harvested by
+	// Reset, drawn again by AddNode so recycled networks rebuild their
+	// endpoint tables without allocating.
+	spareNodes []*Node
+	spareRNG   []*rand.Rand
 }
 
 // New creates a network on the given engine with the given latency model.
@@ -66,6 +72,26 @@ func New(engine *sim.Engine, latency *geo.LatencyModel) *Network {
 		latency:     latency,
 		MinOverhead: 200 * time.Microsecond,
 	}
+}
+
+// Reset returns the network to the state New(engine, latency) would
+// produce, harvesting the node structs and per-sender RNG streams of
+// the finished run for reuse by subsequent AddNode calls. Every Node
+// field is reassigned and every recycled stream re-seeded on reuse, so
+// a warm network is bit-identical to a cold one. The caller must not
+// touch the previous run's nodes after Reset.
+func (n *Network) Reset(engine *sim.Engine, latency *geo.LatencyModel) {
+	n.engine = engine
+	n.latency = latency
+	n.spareNodes = append(n.spareNodes, n.nodes...)
+	n.nodes = n.nodes[:0]
+	n.spareRNG = append(n.spareRNG, n.senderRNG...)
+	n.senderRNG = n.senderRNG[:0]
+	n.sharded = nil
+	n.pick = nil
+	n.shardOf = n.shardOf[:0]
+	n.MinOverhead = 200 * time.Microsecond
+	n.delivered.Store(0)
 }
 
 // EnableSharding routes all traffic through the sharded coordinator:
@@ -93,13 +119,25 @@ func (n *Network) AddNode(region geo.Region, bandwidth float64) (*Node, error) {
 	if !region.Valid() {
 		return nil, fmt.Errorf("simnet: invalid region %d", int(region))
 	}
-	node := &Node{
-		ID:        types.NodeID(len(n.nodes)),
-		Region:    region,
-		Bandwidth: bandwidth,
+	id := types.NodeID(len(n.nodes))
+	var node *Node
+	if k := len(n.spareNodes); k > 0 {
+		node = n.spareNodes[k-1]
+		n.spareNodes = n.spareNodes[:k-1]
+		node.ID, node.Region, node.Bandwidth = id, region, bandwidth
+	} else {
+		node = &Node{ID: id, Region: region, Bandwidth: bandwidth}
 	}
 	n.nodes = append(n.nodes, node)
-	n.senderRNG = append(n.senderRNG, sim.NewStream(n.engine.Seed(), "simnet", uint64(node.ID)))
+	var rng *rand.Rand
+	if k := len(n.spareRNG); k > 0 {
+		rng = n.spareRNG[k-1]
+		n.spareRNG = n.spareRNG[:k-1]
+		sim.ReseedStream(rng, n.engine.Seed(), "simnet", uint64(id))
+	} else {
+		rng = sim.NewStream(n.engine.Seed(), "simnet", uint64(id))
+	}
+	n.senderRNG = append(n.senderRNG, rng)
 	if n.sharded != nil {
 		shard := n.pick(region)
 		if shard < 0 || shard >= n.sharded.NumShards() {

@@ -77,9 +77,25 @@ type Runner struct {
 	// Failed or skipped seeds are ignored and their runs re-execute.
 	Completed map[int]RunResult
 
+	// ColdStart disables warm-run pooling: every campaign builds its
+	// state from scratch instead of recycling the worker's previous
+	// run. Results are bit-identical either way (the pool's
+	// equivalence contract); the knob exists for A/B measurement and
+	// as an escape hatch.
+	ColdStart bool
+
 	// runFn executes one campaign; tests stub it to inject failures
 	// and panics. Nil means the real build-and-run path.
 	runFn func(core.Config) (*core.Results, error)
+}
+
+// pooled reports whether workers may recycle campaign state run to
+// run. Pooling requires that nothing derived from a finished run stays
+// alive: KeepResults keeps the analysis bundle (backed by the pooled
+// collector) and RetainRecords keeps raw records, so either one forces
+// cold builds. A stubbed runFn builds no real campaigns at all.
+func (rn *Runner) pooled() bool {
+	return rn.runFn == nil && !rn.ColdStart && !rn.KeepResults && !rn.RetainRecords
 }
 
 // runCampaign is the production runFn: build the full system, run it,
@@ -144,8 +160,20 @@ func (rn *Runner) Run(ctx context.Context, m *Matrix) ([]RunResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local warm-run pool: state recycles across this
+			// worker's sequential runs and is never shared with another
+			// worker. A failed or panicked run discards the pool — its
+			// campaign was detached from it anyway, so the safe move
+			// after any irregular exit is to start the next run cold.
+			var pool *core.Pool
+			if rn.pooled() {
+				pool = core.NewPool()
+			}
 			for i := range jobs {
-				results[i] = rn.execute(ctx, runs[i])
+				results[i] = rn.execute(ctx, runs[i], pool)
+				if results[i].Err != nil && pool != nil {
+					pool = core.NewPool()
+				}
 				executed[i] = true
 				mu.Lock()
 				done++
@@ -186,8 +214,11 @@ feed:
 }
 
 // execute runs one campaign, converting panics into errors so a bad
-// scenario cannot take down the whole sweep.
-func (rn *Runner) execute(ctx context.Context, run Run) (rr RunResult) {
+// scenario cannot take down the whole sweep. A non-nil pool supplies
+// recycled state to the build and harvests it back after the metrics
+// are extracted (the Results never escape on this path, satisfying the
+// pool's recycle contract).
+func (rn *Runner) execute(ctx context.Context, run Run, pool *core.Pool) (rr RunResult) {
 	rr.Run = run
 	if err := ctx.Err(); err != nil {
 		rr.Err = err
@@ -216,6 +247,22 @@ func (rn *Runner) execute(ctx context.Context, run Run) (rr RunResult) {
 	// SpillPath would point all concurrent campaigns at one file;
 	// sweeps never spill.
 	cfg.SpillPath = ""
+	if pool != nil {
+		campaign, err := pool.NewCampaign(cfg)
+		if err != nil {
+			rr.Err = fmt.Errorf("sweep: run %d (%s, seed %d): %w", run.Index, run.Scenario, run.Seed, err)
+			return
+		}
+		res, err := campaign.Run()
+		if err != nil {
+			rr.Err = fmt.Errorf("sweep: run %d (%s, seed %d): %w", run.Index, run.Scenario, run.Seed, err)
+			return
+		}
+		rr.Metrics = res.KeyMetrics()
+		rr.Stats = res.Stats
+		pool.Recycle(campaign)
+		return
+	}
 	res, err := runFn(cfg)
 	if err != nil {
 		rr.Err = fmt.Errorf("sweep: run %d (%s, seed %d): %w", run.Index, run.Scenario, run.Seed, err)
