@@ -13,8 +13,11 @@
 // Each campaign entry reports the simulation phase (ns/event,
 // allocs/event, events/sec, peak heap) and the analysis phase
 // (records/sec, ns/record, wall, peak heap during analysis — the
-// streaming record pipeline's cost) for a fixed-seed run, plus a
-// scheduler microbenchmark and two chain protocol-dispatch
+// streaming record pipeline's cost) for a fixed-seed run, plus
+// scheduler microbenchmarks (engine/selfschedule on a near-empty
+// queue, engine/schedule-churn under a 4096-event standing
+// population), a delivery-path pair (simnet/deliver with and without
+// coalescing on a tie-heavy fan-in) and two chain protocol-dispatch
 // microbenchmarks (per-import fork choice, uncle-candidate sweep —
 // the hot paths that call through the consensus.Protocol interface)
 // via testing.Benchmark.
@@ -35,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -50,8 +54,10 @@ import (
 	"ethmeasure/internal/cliutil"
 	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/core"
+	"ethmeasure/internal/geo"
 	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/sim"
+	"ethmeasure/internal/simnet"
 	"ethmeasure/internal/types"
 )
 
@@ -472,6 +478,129 @@ func engineEntry(w io.Writer) Entry {
 	return e
 }
 
+// churnHandler drives the schedule-churn benchmark: each fired event
+// reschedules itself after an exponential hold plus a bimodal offset
+// (intra-region ~8ms vs inter-continental ~120ms), the simulator's
+// real scheduling-key distribution.
+type churnHandler struct {
+	e         *sim.Engine
+	rng       *rand.Rand
+	remaining int
+}
+
+func (c *churnHandler) HandleSimEvent(arg sim.Arg) {
+	if c.remaining <= 0 {
+		return
+	}
+	c.remaining--
+	hold := sim.ExpDuration(c.rng, 25*time.Millisecond)
+	if c.rng.Intn(2) == 0 {
+		hold += 8 * time.Millisecond
+	} else {
+		hold += 120 * time.Millisecond
+	}
+	c.e.AfterArg(hold, c, arg)
+}
+
+// churnEntry microbenchmarks scheduling under a standing population of
+// 4096 pending events — the regime where a binary heap pays O(log n)
+// per operation and the ladder queue pays amortized O(1). This is the
+// engine's cost profile mid-campaign, as opposed to the near-empty
+// queue engine/selfschedule measures.
+func churnEntry(w io.Writer) Entry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine(1)
+		tick := &churnHandler{e: e, rng: sim.NewStream(1, "bench-churn", 0), remaining: b.N}
+		for i := 0; i < 4096; i++ {
+			e.AfterArg(time.Duration(i)*50*time.Microsecond, tick, sim.Arg{})
+		}
+		b.ResetTimer()
+		if _, err := e.Run(time.Duration(1<<62 - 1)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	e := Entry{
+		Name:        "engine/schedule-churn",
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+	}
+	fmt.Fprintf(w, "%-22s %9.1f ns/op    %8.3f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	return e
+}
+
+// benchSink is the do-nothing delivery sink for the simnet
+// microbenchmarks.
+type benchSink struct{ delivered uint64 }
+
+func (s *benchSink) DeliverEnvelope(env simnet.Envelope) { s.delivered++ }
+
+// deliverEntries microbenchmarks the network delivery path on a
+// tie-heavy fan-in (64 senders flooding one destination over a
+// zero-jitter link, so every burst lands at one instant), once plain
+// and once with delivery coalescing, quantifying what the coalesced
+// path saves in scheduled events per delivery.
+func deliverEntries(w io.Writer) []Entry {
+	const fanIn = 64
+	bench := func(coalesce bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			engine := sim.NewEngine(1)
+			net := simnet.New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+			if coalesce {
+				net.EnableCoalescing()
+			}
+			senders := make([]*simnet.Node, fanIn)
+			for i := range senders {
+				ep, err := net.AddNode(geo.NorthAmerica, 1e9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				senders[i] = ep
+			}
+			dst, err := net.AddNode(geo.NorthAmerica, 1e9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink := &benchSink{}
+			round := func(n int) {
+				for i := 0; i < n; i++ {
+					net.Send(senders[i], dst, 600, sink, simnet.Envelope{Kind: 1, Num: uint64(i)})
+				}
+				if _, err := engine.Run(engine.Now() + time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm the batch slab and the scheduler's ring buckets so the
+			// timed region measures steady state, not first-touch growth.
+			for i := 0; i < 512; i++ {
+				round(fanIn)
+			}
+			b.ResetTimer()
+			for sent := 0; sent < b.N; sent += fanIn {
+				n := fanIn
+				if rem := b.N - sent; rem < n {
+					n = rem
+				}
+				round(n)
+			}
+			b.StopTimer()
+			if coalesce && net.CoalescedBatches() == 0 {
+				b.Fatal("coalesced benchmark never batched")
+			}
+		})
+	}
+	plain, coal := bench(false), bench(true)
+	entries := []Entry{
+		{Name: "simnet/deliver", NsPerOp: float64(plain.NsPerOp()), AllocsPerOp: float64(plain.AllocsPerOp())},
+		{Name: "simnet/deliver/coalesce", NsPerOp: float64(coal.NsPerOp()), AllocsPerOp: float64(coal.AllocsPerOp())},
+	}
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-22s %9.1f ns/op    %8.3f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+	return entries
+}
+
 // chainDispatchEntries microbenchmarks the chain/mining hot paths that
 // now dispatch through the consensus.Protocol interface: the per-node
 // block import (fork choice) and the miner's uncle-candidate sweep
@@ -700,7 +829,8 @@ func run(args []string, w io.Writer) error {
 
 	report := &Report{Schema: 1, GoVersion: runtime.Version(), Profile: *profile, NumCPU: runtime.NumCPU()}
 	if !*skipEngine {
-		report.Entries = append(report.Entries, engineEntry(w))
+		report.Entries = append(report.Entries, engineEntry(w), churnEntry(w))
+		report.Entries = append(report.Entries, deliverEntries(w)...)
 	}
 	if !*skipDispatch {
 		report.Entries = append(report.Entries, chainDispatchEntries(w)...)

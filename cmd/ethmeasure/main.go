@@ -6,11 +6,12 @@
 // Usage:
 //
 //	ethmeasure [-preset quick|default|paper] [-seed N] [-duration D]
-//	           [-nodes N] [-txrate R] [-shards N] [-print-infra]
-//	           [-logs PATH] [-protocol name[:key=val,...]]
+//	           [-nodes N] [-txrate R] [-shards N] [-progress]
+//	           [-print-infra] [-logs PATH] [-protocol name[:key=val,...]]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func run(args []string) error {
 		txRate     = fs.Float64("txrate", 0, "override transaction rate (tx/s)")
 		noTx       = fs.Bool("no-tx", false, "disable the transaction workload")
 		shards     = fs.Int("shards", 0, "event-engine shards (0 = one per geo region up to GOMAXPROCS, 1 = serial)")
+		progress   = fs.Bool("progress", false, "print live progress lines during the run")
 		printInfra = fs.Bool("print-infra", false, "print Table I (infrastructure) and exit")
 		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this JSONL file")
 		protocol   = fs.String("protocol", "", "consensus protocol: name[:key=val,...] (default ethereum; see ethsim -list-protocols)")
@@ -115,7 +117,22 @@ func run(args []string) error {
 		fmt.Printf("scenarios: %s\n", strings.Join(tags, "; "))
 	}
 	fmt.Println()
-	results, err := campaign.Run()
+	var opts ethmeasure.RunOptions
+	if *progress {
+		// ~20 lines across the run, at least one per virtual minute —
+		// the same cadence as ethsim -progress.
+		interval := cfg.Duration / 20
+		if interval < time.Minute {
+			interval = time.Minute
+		}
+		opts.ProgressInterval = interval
+		opts.Progress = func(p ethmeasure.RunProgress) {
+			pct := 100 * float64(p.SimTime) / float64(p.Duration)
+			fmt.Printf("  %5.1f%%  t=%-8v  %d events, %d blocks, %d block records, %d tx records\n",
+				pct, p.SimTime.Round(time.Second), p.Events, p.Blocks, p.BlockRecords, p.TxRecords)
+		}
+	}
+	results, err := campaign.RunContext(context.Background(), opts)
 	if err != nil {
 		return err
 	}

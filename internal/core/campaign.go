@@ -172,6 +172,12 @@ func (c *Campaign) build() error {
 		c.engine = sim.NewEngine(cfg.Seed)
 		c.network = simnet.New(c.engine, cfg.Latency)
 	}
+	if cfg.CoalesceDelivery {
+		// Serial engine only: when sharding is enabled below, Send's
+		// sharded path bypasses coalescing (batches would straddle the
+		// barrier exchange).
+		c.network.EnableCoalescing()
+	}
 	if shards := cfg.ResolveShards(); shards > 1 {
 		// Conservative PDES: the lookahead is the smallest delay any
 		// message can take — the latency model's floor over every region

@@ -170,6 +170,17 @@ type Config struct {
 	// WithholdDepth is the private-chain length that forces a release.
 	WithholdDepth int
 
+	// CoalesceDelivery batches same-destination message deliveries that
+	// land at the same virtual instant through one scheduled event
+	// instead of one per message (internal/simnet). Per destination and
+	// instant, delivery order is exactly the uncoalesced send order;
+	// across destinations sharing an exact instant the interleaving may
+	// differ, which continuous-jitter latency models (the default)
+	// never produce — but the switch stays off by default until a
+	// campaign's model is known tie-free. Serial engine only: sharded
+	// campaigns ignore it.
+	CoalesceDelivery bool
+
 	// Clock is the NTP offset model for vantage timestamps.
 	Clock measure.ClockModel
 

@@ -57,9 +57,11 @@ func TestTxRelayZeroAllocsSteadyState(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Warm every cache past capacity and the engine slab past its
-	// high-water mark.
-	for i := 0; i < 40; i++ {
+	// Warm every cache past capacity, the engine slab past its
+	// high-water mark, and all 256 of the ladder queue's ring buckets
+	// (each batch lands on a different slot residue, so covering the
+	// full ring takes a few hundred rounds).
+	for i := 0; i < 320; i++ {
 		batch()
 	}
 

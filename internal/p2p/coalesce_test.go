@@ -1,0 +1,95 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"ethmeasure/internal/chain"
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/sim"
+	"ethmeasure/internal/simnet"
+	"ethmeasure/internal/types"
+)
+
+// TestCoalescedFloodMatchesPlain runs the protocol's worst tie
+// generator — an announce/push flood over a zero-jitter full mesh,
+// where every peer's delivery of a hop lands at the same instant —
+// with delivery coalescing on and off, and requires identical protocol
+// outcomes: same heads, same known hashes, same per-node reception
+// counts, same total message count.
+func TestCoalescedFloodMatchesPlain(t *testing.T) {
+	type outcome struct {
+		heads     []types.Hash
+		delivered uint64
+		batches   uint64
+		txKnown   []bool
+	}
+	run := func(coalesce bool) outcome {
+		engine := sim.NewEngine(1)
+		net := simnet.New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+		if coalesce {
+			net.EnableCoalescing()
+		}
+		issuer := types.NewHashIssuer(1)
+		reg := chain.NewRegistry(0, issuer)
+		cfg := DefaultConfig()
+		var nodes []*Node
+		for i := 0; i < 10; i++ {
+			ep, err := net.AddNode(geo.NorthAmerica, 1e9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, NewNode(&cfg, net, ep, reg))
+		}
+		for i := range nodes {
+			for j := i + 1; j < len(nodes); j++ {
+				Connect(nodes[i], nodes[j])
+			}
+		}
+		parent := reg.Genesis()
+		for i := 0; i < 4; i++ {
+			b := &types.Block{
+				Hash:       issuer.Next(),
+				Number:     parent.Number + 1,
+				ParentHash: parent.Hash,
+				Miner:      1,
+			}
+			if err := reg.Add(b); err != nil {
+				t.Fatal(err)
+			}
+			nodes[i%len(nodes)].PublishBlock(b)
+			parent = b
+		}
+		tx := &types.Transaction{Hash: types.Hash(uint64(7) << 40), Size: 110}
+		nodes[3].SubmitTx(tx)
+		if _, err := engine.Run(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		out := outcome{delivered: net.Delivered(), batches: net.CoalescedBatches()}
+		for _, n := range nodes {
+			out.heads = append(out.heads, n.View().Head().Hash)
+			out.txKnown = append(out.txKnown, n.knownTxs.Has(tx.Hash))
+		}
+		return out
+	}
+
+	plain := run(false)
+	coal := run(true)
+	if plain.batches != 0 {
+		t.Fatalf("uncoalesced run drained %d batches", plain.batches)
+	}
+	if coal.batches == 0 {
+		t.Fatal("coalesced run never batched; flood produced no ties")
+	}
+	if plain.delivered != coal.delivered {
+		t.Fatalf("delivered %d messages plain, %d coalesced", plain.delivered, coal.delivered)
+	}
+	for i := range plain.heads {
+		if plain.heads[i] != coal.heads[i] {
+			t.Errorf("node %d head differs: %s plain, %s coalesced", i, plain.heads[i], coal.heads[i])
+		}
+		if plain.txKnown[i] != coal.txKnown[i] {
+			t.Errorf("node %d tx knowledge differs: %v plain, %v coalesced", i, plain.txKnown[i], coal.txKnown[i])
+		}
+	}
+}

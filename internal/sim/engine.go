@@ -6,11 +6,11 @@
 // fully reproducible from its configuration and seed.
 //
 // The scheduler is built for campaign scale (5,000+ nodes, tens of
-// millions of events): events live in a slab indexed by a hand-rolled
-// binary heap of slot indices, freed slots are recycled through a free
-// list, and the ScheduleArg path lets hot callers (message delivery,
-// protocol timers) enqueue work without allocating a closure — zero
-// steady-state allocations per event.
+// millions of events): events live in a slab indexed by a ladder queue
+// (O(1) amortized push/pop; see queue.go), freed slots are recycled
+// through a free list, and the ScheduleArg path lets hot callers
+// (message delivery, protocol timers) enqueue work without allocating
+// a closure — zero steady-state allocations per event.
 package sim
 
 import (
@@ -60,9 +60,15 @@ var ErrStopped = errors.New("sim: engine stopped")
 // for concurrent use: simulations are single-threaded by design so that
 // identical seeds yield identical runs.
 type Engine struct {
-	now     Time
-	slab    []event // event storage; slots recycled via free
-	heap    []int32 // pending slot indices ordered by (at, seq)
+	now  Time
+	slab []event // event storage; slots recycled via free
+	// Pending slot indices ordered by (at, seq) live in the ladder
+	// queue lq, or — when the differential suites select the reference
+	// heap via SetQueueImpl — in ref. Exactly one is active per engine;
+	// the qPush/qPop/qPeek/qSize wrappers branch on ref so the hot path
+	// calls the concrete ladder directly, with no interface dispatch.
+	lq      ladder
+	ref     *refHeap
 	free    []int32 // recycled slot indices (LIFO for cache locality)
 	seq     uint64
 	stopped atomic.Bool // atomic: Stop may be called from another goroutine
@@ -73,15 +79,56 @@ type Engine struct {
 
 // NewEngine creates an engine whose named RNG streams derive from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{
+	e := &Engine{
 		seed:    seed,
 		streams: make(map[string]*rand.Rand),
 	}
+	e.initQueue()
+	return e
+}
+
+// initQueue installs the queue implementation selected by SetQueueImpl.
+// Called once per engine at construction (NewEngine, NewSharded);
+// Reset keeps the engine's implementation.
+func (e *Engine) initQueue() {
+	if defaultQueueImpl == QueueRefHeap {
+		e.ref = &refHeap{}
+	}
+}
+
+func (e *Engine) qPush(at Time, seq uint64, idx int32) {
+	if e.ref == nil {
+		e.lq.push(at, seq, idx)
+	} else {
+		e.ref.push(at, seq, idx)
+	}
+}
+
+func (e *Engine) qPop() (int32, bool) {
+	if e.ref == nil {
+		return e.lq.pop()
+	}
+	return e.ref.pop()
+}
+
+func (e *Engine) qPeek() (Time, bool) {
+	if e.ref == nil {
+		return e.lq.peek()
+	}
+	return e.ref.peek()
+}
+
+func (e *Engine) qSize() int {
+	if e.ref == nil {
+		return e.lq.size()
+	}
+	return e.ref.size()
 }
 
 // Reset returns the engine to the state NewEngine(seed) would produce
-// while keeping the slab, heap and free-list backing arrays, so a
-// recycled engine schedules its first events without growing anything.
+// while keeping the slab, queue (ladder run, ring buckets, overflow)
+// and free-list backing arrays, so a recycled engine schedules its
+// first events without growing anything.
 // The slab is zeroed over its full capacity — the GC scans a slice's
 // whole backing array, so stale handler/closure references beyond len
 // would otherwise pin the previous run's object graph. Named RNG
@@ -96,7 +143,11 @@ func (e *Engine) Reset(seed int64) {
 	// truncating after the clear restores that invariant.
 	clear(e.slab)
 	e.slab = e.slab[:0]
-	e.heap = e.heap[:0]
+	if e.ref == nil {
+		e.lq.reset()
+	} else {
+		e.ref.reset()
+	}
 	e.free = e.free[:0]
 	e.seq = 0
 	e.now = 0
@@ -114,8 +165,10 @@ func (e *Engine) Now() Time { return e.now }
 // EventsRun returns how many events have executed so far.
 func (e *Engine) EventsRun() uint64 { return e.ran }
 
-// Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of events waiting in the queue. The
+// ladder queue tracks its population in one counter, so this is O(1)
+// and never forces a bucket refill.
+func (e *Engine) Pending() int { return e.qSize() }
 
 // Seed returns the master seed the engine was created with.
 func (e *Engine) Seed() int64 { return e.seed }
@@ -158,60 +211,6 @@ func (e *Engine) alloc() int32 {
 	return int32(len(e.slab) - 1)
 }
 
-// less orders pending events by (at, seq): earlier time first, and
-// within one timestamp, scheduling order. seq is unique, so this is a
-// total order and the pop sequence is independent of heap layout.
-func (e *Engine) less(a, b int32) bool {
-	ea, eb := &e.slab[a], &e.slab[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
-	}
-	return ea.seq < eb.seq
-}
-
-func (e *Engine) heapPush(idx int32) {
-	h := append(e.heap, idx)
-	e.heap = h
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-// heapPopTop removes and returns the minimum slot index. The caller
-// must ensure the heap is non-empty.
-func (e *Engine) heapPopTop() int32 {
-	h := e.heap
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	e.heap = h[:last]
-	h = e.heap
-	// Sift down.
-	i := 0
-	for {
-		left := 2*i + 1
-		if left >= last {
-			break
-		}
-		least := left
-		if right := left + 1; right < last && e.less(h[right], h[left]) {
-			least = right
-		}
-		if !e.less(h[least], h[i]) {
-			break
-		}
-		h[i], h[least] = h[least], h[i]
-		i = least
-	}
-	return top
-}
-
 // Schedule runs fn at the given absolute virtual time. Scheduling in
 // the past (before Now) is an error and the event is dropped with a
 // panic, since it indicates a logic bug in the caller.
@@ -223,7 +222,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 	idx := e.alloc()
 	ev := &e.slab[idx]
 	ev.at, ev.seq, ev.fn = at, e.seq, fn
-	e.heapPush(idx)
+	e.qPush(at, e.seq, idx)
 }
 
 // ScheduleArg runs h.HandleSimEvent(arg) at the given absolute virtual
@@ -239,7 +238,7 @@ func (e *Engine) ScheduleArg(at Time, h Handler, arg Arg) {
 	idx := e.alloc()
 	ev := &e.slab[idx]
 	ev.at, ev.seq, ev.h, ev.arg = at, e.seq, h, arg
-	e.heapPush(idx)
+	e.qPush(at, e.seq, idx)
 }
 
 // After runs fn after the given delay from the current time. Negative
@@ -266,12 +265,12 @@ func (e *Engine) AfterArg(d time.Duration, h Handler, arg Arg) {
 func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // NextAt returns the timestamp of the earliest pending event, or false
-// when the queue is empty.
+// when the queue is empty. Peeking may drain the next ladder bucket
+// into the sorted active run (amortized O(1), and work the following
+// pop would have done anyway); it never changes the pop order, so the
+// sharded barrier loop sees window edges identical to the heap's.
 func (e *Engine) NextAt() (Time, bool) {
-	if len(e.heap) == 0 {
-		return 0, false
-	}
-	return e.slab[e.heap[0]].at, true
+	return e.qPeek()
 }
 
 // AdvanceTo moves the clock forward to t without executing anything.
@@ -283,8 +282,8 @@ func (e *Engine) AdvanceTo(t Time) {
 	if t <= e.now {
 		return
 	}
-	if len(e.heap) > 0 && e.slab[e.heap[0]].at < t {
-		panic(fmt.Sprintf("sim: advancing to %v past pending event at %v", t, e.slab[e.heap[0]].at))
+	if at, ok := e.qPeek(); ok && at < t {
+		panic(fmt.Sprintf("sim: advancing to %v past pending event at %v", t, at))
 	}
 	e.now = t
 }
@@ -294,7 +293,7 @@ func (e *Engine) AdvanceTo(t Time) {
 // so that callbacks scheduling new events (the dominant pattern)
 // immediately reuse hot slots.
 func (e *Engine) execTop() {
-	idx := e.heapPopTop()
+	idx, _ := e.qPop()
 	ev := &e.slab[idx]
 	at, fn, h, arg := ev.at, ev.fn, ev.h, ev.arg
 	ev.fn, ev.h, ev.arg = nil, nil, Arg{} // release references for GC
@@ -314,8 +313,12 @@ func (e *Engine) execTop() {
 // ended and ErrStopped if the engine was stopped explicitly.
 func (e *Engine) Run(horizon Time) (Time, error) {
 	e.stopped.Store(false)
-	for len(e.heap) > 0 {
-		if e.slab[e.heap[0]].at > horizon {
+	for {
+		at, ok := e.qPeek()
+		if !ok {
+			break
+		}
+		if at > horizon {
 			e.now = horizon
 			return e.now, nil
 		}
@@ -333,7 +336,7 @@ func (e *Engine) Run(horizon Time) (Time, error) {
 // Step executes exactly one event, if any, and reports whether an
 // event ran. Useful in tests that need fine-grained control.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if e.qSize() == 0 {
 		return false
 	}
 	e.execTop()

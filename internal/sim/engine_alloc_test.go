@@ -26,12 +26,17 @@ func (h *countingHandler) HandleSimEvent(arg Arg) {
 func TestScheduleArgZeroAllocsSteadyState(t *testing.T) {
 	e := NewEngine(1)
 	h := &countingHandler{engine: e}
-	// Warm the slab and heap.
-	for i := 0; i < 64; i++ {
-		e.AfterArg(time.Duration(i)*time.Microsecond, h, Arg{K: int32(i)})
-	}
-	if _, err := e.Run(e.Now() + time.Second); err != nil {
-		t.Fatal(err)
+	// Warm the slab and the queue. Each round of 32 events lands on a
+	// handful of ladder ring slots, and virtual time strides the slot
+	// index between rounds, so warming all 256 slot arrays to capacity
+	// takes a few hundred rounds.
+	for r := 0; r < 400; r++ {
+		for i := 0; i < 32; i++ {
+			e.AfterArg(time.Duration(i)*time.Microsecond, h, Arg{K: int32(i)})
+		}
+		if _, err := e.Run(e.Now() + time.Second); err != nil {
+			t.Fatal(err)
+		}
 	}
 	allocs := testing.AllocsPerRun(200, func() {
 		for i := 0; i < 32; i++ {
@@ -52,11 +57,14 @@ func TestScheduleArgZeroAllocsSteadyState(t *testing.T) {
 func TestScheduleClosureZeroAllocsSteadyState(t *testing.T) {
 	e := NewEngine(1)
 	fn := func() {}
-	for i := 0; i < 64; i++ {
-		e.After(time.Duration(i)*time.Microsecond, fn)
-	}
-	if _, err := e.Run(e.Now() + time.Second); err != nil {
-		t.Fatal(err)
+	// Warm all ladder ring slots, as above.
+	for r := 0; r < 400; r++ {
+		for i := 0; i < 32; i++ {
+			e.After(time.Duration(i)*time.Microsecond, fn)
+		}
+		if _, err := e.Run(e.Now() + time.Second); err != nil {
+			t.Fatal(err)
+		}
 	}
 	allocs := testing.AllocsPerRun(200, func() {
 		for i := 0; i < 32; i++ {

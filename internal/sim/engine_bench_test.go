@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -37,6 +38,47 @@ func BenchmarkEngineSelfScheduling(b *testing.B) {
 		}
 	}
 	e.After(0, tick)
+	b.ResetTimer()
+	if _, err := e.Run(time.Duration(1<<62 - 1)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// churnTicker is the allocation-free handler behind the schedule-churn
+// benchmarks: each fired event schedules a successor after an
+// exponential hold plus a bimodal offset approximating the simulator's
+// real key distribution (intra-region ~8ms vs inter-continental
+// ~120ms deliveries).
+type churnTicker struct {
+	e         *Engine
+	rng       *rand.Rand
+	remaining int
+}
+
+func (c *churnTicker) HandleSimEvent(arg Arg) {
+	if c.remaining <= 0 {
+		return
+	}
+	c.remaining--
+	hold := ExpDuration(c.rng, 25*time.Millisecond)
+	if c.rng.Intn(2) == 0 {
+		hold += 8 * time.Millisecond
+	} else {
+		hold += 120 * time.Millisecond
+	}
+	c.e.AfterArg(hold, c, arg)
+}
+
+// BenchmarkEngineScheduleChurn measures push/pop cost under a standing
+// population of 4096 pending events — the regime where the binary
+// heap paid O(log n) per operation and the ladder queue pays O(1).
+func BenchmarkEngineScheduleChurn(b *testing.B) {
+	e := NewEngine(1)
+	tick := &churnTicker{e: e, rng: NewStream(1, "bench-churn", 0), remaining: b.N}
+	for i := 0; i < 4096; i++ {
+		e.AfterArg(time.Duration(i)*50*time.Microsecond, tick, Arg{})
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := e.Run(time.Duration(1<<62 - 1)); err != nil {
 		b.Fatal(err)

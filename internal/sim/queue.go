@@ -1,0 +1,574 @@
+// The engine's pending-event queue. Production engines run the ladder
+// queue below — a calendar-style structure with O(1) amortized push
+// and pop for near-future events — while the reference binary heap is
+// kept alongside it for differential testing: both order events by the
+// same unique (at, seq) key, so any correct implementation pops the
+// exact same sequence and every downstream fingerprint (records,
+// chains, analysis) is bit-identical regardless of which queue an
+// engine runs on.
+package sim
+
+import "math/bits"
+
+// qent is one pending event reference: the ordering key plus the slab
+// slot it lives in. Entries are self-contained so queue compares and
+// moves never touch the slab, and they hold no pointers, so recycled
+// bucket arrays need no GC scrubbing.
+type qent struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+// entLess orders entries by (at, seq). seq is unique per engine, so
+// this is a total order: no two entries ever compare equal.
+func entLess(a, b qent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// queue is the minimal pending-event surface the engine needs. Both
+// implementations pop slot indices in ascending (at, seq) order.
+type queue interface {
+	push(at Time, seq uint64, idx int32)
+	pop() (idx int32, ok bool)
+	peek() (at Time, ok bool)
+	size() int
+	reset()
+}
+
+var (
+	_ queue = (*ladder)(nil)
+	_ queue = (*refHeap)(nil)
+)
+
+// QueueImpl selects which pending-queue implementation newly
+// constructed engines (and shard engines) use.
+type QueueImpl int
+
+const (
+	// QueueLadder is the production ladder queue.
+	QueueLadder QueueImpl = iota
+	// QueueRefHeap is the reference binary heap, kept for the
+	// heap-vs-ladder differential suites.
+	QueueRefHeap
+)
+
+var defaultQueueImpl = QueueLadder
+
+// SetQueueImpl switches the queue implementation used by engines
+// constructed afterwards (NewEngine, NewSharded). It exists for the
+// differential test suites that prove the ladder queue pops the exact
+// (at, seq) order of the reference heap; production code never calls
+// it. Not safe to call concurrently with engine construction, and it
+// does not affect engines that already exist.
+func SetQueueImpl(impl QueueImpl) { defaultQueueImpl = impl }
+
+// CurrentQueueImpl reports the implementation new engines will use.
+func CurrentQueueImpl() QueueImpl { return defaultQueueImpl }
+
+// ladderSlots is the ring size: 256 power-of-two-width buckets. Must
+// be a multiple of 64 (the occupancy bitmap word size).
+const ladderSlots = 256
+
+// bucketTarget is the bucket width tuning goal: width is derived so a
+// bucket drains ~8–16 entries at the pending set's mean density.
+// Draining heapifies the bucket once (O(k)), so entries-per-bucket
+// trades heap depth on the current tier against refill frequency; the
+// degenerate regimes to avoid are width so coarse that the whole
+// pending set piles into the current bucket (the queue decays to a
+// plain binary heap) and width so fine that every bucket holds one
+// entry and refills dominate.
+const bucketTarget = 16
+
+// rebuildLimit caps how large the current-bucket tier may grow through
+// in-bucket pushes before the ladder re-derives a finer bucket width
+// from that tier's own density. The tier is a binary heap, so growth
+// past the limit is not catastrophic (pushes stay O(log k)), but a
+// bucket width that underestimates the head-of-queue density — mean
+// density is skewed by sparse far-future events — would otherwise
+// funnel every near-future event through one big heap and forfeit the
+// ring's O(1) routing.
+const rebuildLimit = 512
+
+// ladder is a ladder queue: a small binary-heap "current" tier holding
+// every pending event at or below the current epoch bucket, a 256-slot
+// timing-wheel ring of unsorted near-future buckets, and a binary-heap
+// far-future overflow tier.
+//
+//   - push lands in the current tier (heap push — the fallback for
+//     events at or before the epoch being drained, typically a few
+//     entries deep), in a ring bucket (append + one bitmap OR), or in
+//     the overflow heap (O(log n), paid only by events beyond the
+//     ring's reach — the sparse far-future minority: block intervals,
+//     timers).
+//   - pop takes the current tier's minimum; when the tier drains, the
+//     next occupied ring bucket — found with a bitmap scan, no slot
+//     walk — is heapified once and becomes the new current tier.
+//     Overflow entries that have come into the ring's reach are
+//     spilled in first (heap pops, so a spill costs O(log n) per entry
+//     moved, never a scan of the whole tier).
+//   - when ring and current tier are both empty, the overflow
+//     migrates: the bucket width (1<<shift nanoseconds) is re-derived
+//     from the overflow's mean event density targeting bucketTarget
+//     entries per bucket, then in-reach events are redistributed. The
+//     current tier's rebuild guard (rebuildLimit) covers the skewed
+//     case where the head of the queue is far denser than that mean.
+//
+// The zero value is an empty, usable queue. reset keeps every backing
+// array, so warm-pool engines re-enqueue without growing anything.
+type ladder struct {
+	n int // total pending entries
+
+	// cur is the tier currently being consumed: a binary heap of every
+	// pending entry with bucket index (at>>shift) <= epoch, so its root
+	// is always the global minimum when non-empty. A heap rather than a
+	// sorted run because event handlers routinely schedule follow-ups
+	// inside the bucket being drained (sub-width latencies), and sorted
+	// insertion would pay O(tier size) memmove per push.
+	cur entHeap
+
+	shift uint   // bucket width is 1<<shift nanoseconds
+	epoch uint64 // absolute bucket index drained into cur
+
+	// ring[b & 255] holds the unsorted entries of absolute bucket b for
+	// b in (epoch, epoch+256]; occ mirrors slot non-emptiness so the
+	// next occupied slot is one or two word scans away.
+	ring  [ladderSlots][]qent
+	occ   [ladderSlots / 64]uint64
+	ringN int
+
+	// over holds entries beyond the ring's reach, heap-ordered so its
+	// minimum is O(1) to read and in-reach entries spill forward in
+	// (at, seq) order without scanning the tier. refill checks the heap
+	// minimum before committing to a ring bucket, so the epoch never
+	// passes a pending overflow entry.
+	over entHeap
+
+	// scratch is reused by rebuild to collect the current tier and ring
+	// entries for redistribution under a finer bucket width.
+	scratch []qent
+
+	// rebuildAt is the current-tier size that triggers the next rebuild
+	// attempt: max(rebuildLimit, backoff). A rebuild that cannot help —
+	// the tier is one big tie group, or the width is already as fine as
+	// its density warrants — must not be retried on every push (each
+	// attempt scans the tier), so a failed attempt doubles the
+	// threshold and a fresh tier era (refill) resets it.
+	rebuildAt int
+
+	// fineShift remembers the bucket width the last rebuild derived
+	// from an observed dense stretch (0 = none observed yet). Campaign
+	// workloads are bursty: between announce floods the pending set is
+	// a handful of seconds-apart timers, and a width derived from that
+	// sparse mix would make the next burst land entirely inside one
+	// bucket. migrate clamps its density-derived width to fineShift,
+	// and relaxes it one notch per clamped migration so a one-off
+	// ultra-dense burst cannot pin the queue too fine forever.
+	fineShift uint
+}
+
+func (l *ladder) size() int { return l.n }
+
+func (l *ladder) push(at Time, seq uint64, idx int32) {
+	e := qent{at: at, seq: seq, idx: idx}
+	l.n++
+	if l.n == 1 {
+		// Empty queue: restart the current tier at this event's bucket.
+		// The dominant self-scheduling pattern (pop one event, schedule
+		// its successor) stays on this path and never touches the ring.
+		l.epoch = uint64(at) >> l.shift
+		l.cur.h = append(l.cur.h[:0], e)
+		return
+	}
+	b := uint64(at) >> l.shift
+	if b <= l.epoch {
+		l.cur.push(e)
+		if n := l.cur.len(); n > rebuildLimit && n > l.rebuildAt {
+			l.rebuild()
+		}
+		return
+	}
+	if b-l.epoch <= ladderSlots {
+		l.ringPut(e, b)
+		return
+	}
+	l.over.push(e)
+}
+
+// ringPut appends e to the ring slot of absolute bucket b. The caller
+// guarantees b is within the ring's reach: epoch < b <= epoch+256.
+func (l *ladder) ringPut(e qent, b uint64) {
+	slot := b & (ladderSlots - 1)
+	if len(l.ring[slot]) == 0 {
+		l.occ[slot>>6] |= 1 << (slot & 63)
+	}
+	l.ring[slot] = append(l.ring[slot], e)
+	l.ringN++
+}
+
+// densityShift derives the bucket width exponent targeting
+// bucketTarget entries per bucket at mean density: width ≈
+// span·target/count, floored to a power of two. count > 0.
+func densityShift(span, count uint64) uint {
+	ideal := span / count
+	if ideal > 1<<50 {
+		ideal = 1 << 50 // clamp: keeps ideal*bucketTarget in range
+	}
+	ideal *= bucketTarget
+	if ideal == 0 {
+		return 0
+	}
+	return uint(bits.Len64(ideal)) - 1
+}
+
+// rebuild re-derives the bucket width from the current tier's own
+// density and redistributes the tier and the ring under it. Triggered
+// by push when the tier outgrows rebuildLimit: the global mean density
+// that sized the buckets (sparse far-future events included)
+// underestimated the head-of-queue density, so the epoch bucket
+// swallowed the near-future mass. Only runs when the width strictly
+// decreases, so it triggers O(1) times per migration era and its cost
+// is amortized over the >= rebuildLimit pushes that grew the tier.
+func (l *ladder) rebuild() {
+	h := l.cur.h
+	maxAt := h[0].at
+	for _, e := range h[1:] {
+		if e.at > maxAt {
+			maxAt = e.at
+		}
+	}
+	span := uint64(maxAt - h[0].at) // h[0] is the heap minimum
+	if span == 0 {
+		// A tier of exact ties cannot be split finer; heap pushes into
+		// it stay cheap, so the large tier is harmless. Back off so the
+		// ties do not pay this scan again per push.
+		l.rebuildAt = 2 * len(h)
+		return
+	}
+	shift := densityShift(span, uint64(len(h)))
+	if shift >= l.shift {
+		l.rebuildAt = 2 * len(h)
+		return
+	}
+	l.rebuildAt = 0
+	// Pin the burst-density width for future migrations (fineShift 0
+	// means unset, so floor the pin at 1).
+	l.fineShift = shift
+	if l.fineShift == 0 {
+		l.fineShift = 1
+	}
+	// Collect the tier and every ring entry, then redistribute under
+	// the finer width. Ring entries all sort after the tier (their old
+	// buckets were beyond the epoch), so the new epoch is the tier's
+	// minimum bucket and beyond-reach entries fall into the overflow
+	// heap.
+	l.scratch = append(l.scratch[:0], h...)
+	l.cur.h = h[:0]
+	if l.ringN > 0 {
+		for w, bm := range l.occ {
+			for bm != 0 {
+				slot := uint(w)<<6 | uint(bits.TrailingZeros64(bm))
+				bm &= bm - 1
+				l.scratch = append(l.scratch, l.ring[slot]...)
+				l.ring[slot] = l.ring[slot][:0]
+			}
+		}
+		l.occ = [ladderSlots / 64]uint64{}
+		l.ringN = 0
+	}
+	l.shift = shift
+	l.redistribute(l.scratch)
+}
+
+// redistribute rebuilds cur, ring and overflow from entries under the
+// current shift: the epoch becomes the minimum entry's bucket, whose
+// entries form the new current tier (heapified once); in-reach entries
+// fill ring buckets; the rest go to the overflow heap. The caller has
+// emptied cur and ring; entries[0] must hold the minimum timestamp —
+// both callers guarantee it by construction (rebuild: heap root;
+// migrate: scanned minimum swapped to front).
+func (l *ladder) redistribute(entries []qent) {
+	l.epoch = uint64(entries[0].at) >> l.shift
+	for _, e := range entries {
+		b := uint64(e.at) >> l.shift
+		if b == l.epoch {
+			l.cur.h = append(l.cur.h, e)
+			continue
+		}
+		if b-l.epoch <= ladderSlots {
+			l.ringPut(e, b)
+			continue
+		}
+		l.over.push(e)
+	}
+	l.cur.init()
+}
+
+func (l *ladder) peek() (Time, bool) {
+	if l.cur.len() == 0 && !l.refill() {
+		return 0, false
+	}
+	return l.cur.h[0].at, true
+}
+
+func (l *ladder) pop() (int32, bool) {
+	h := l.cur.h
+	if len(h) == 0 {
+		if !l.refill() {
+			return 0, false
+		}
+		h = l.cur.h
+	}
+	l.n--
+	if len(h) == 1 {
+		// Dominant self-scheduling pattern: one pending event. Skip the
+		// root-swap-and-sift of a general heap pop.
+		l.cur.h = h[:0]
+		return h[0].idx, true
+	}
+	return l.cur.popMin().idx, true
+}
+
+// refill makes the current tier non-empty, draining the next occupied
+// ring bucket (migrating the overflow first when the ring is empty).
+// Returns false when the queue is empty. On entry the current tier is
+// empty.
+func (l *ladder) refill() bool {
+	if l.n == 0 {
+		return false
+	}
+	l.rebuildAt = 0 // fresh tier era: re-arm the rebuild guard
+	if l.ringN == 0 {
+		// Only the overflow holds events.
+		if l.over.len() >= rebuildLimit {
+			// Enough of a sample to re-derive the bucket width from
+			// real density; migration leaves the minimum bucket's
+			// events in the current tier.
+			l.migrate()
+			return true
+		}
+		// Sparse tier: re-deriving width from a handful of seconds-apart
+		// timers would wreck the next burst (see fineShift), and with
+		// nothing near there is nothing to amortize. Keep the width,
+		// jump the epoch to just before the next pending bucket and
+		// spill that bucket in; the normal drain below picks it up.
+		b0 := uint64(l.over.minAt()) >> l.shift
+		l.epoch = b0 - 1
+		l.spill(b0)
+	}
+	// The first occupied slot at circular distance d >= 1 from the
+	// current epoch holds exactly the events of bucket epoch+1+d':
+	// occupied slots map one-to-one onto buckets in (epoch, epoch+256],
+	// so circular order is bucket order.
+	s0 := uint((l.epoch + 1) & (ladderSlots - 1))
+	slot := l.nextSlot(s0)
+	bNext := l.epoch + 1 + uint64((slot-s0)&(ladderSlots-1))
+	if l.over.len() > 0 && uint64(l.over.minAt())>>l.shift <= bNext {
+		// The epoch has advanced far enough that overflow entries now
+		// fall at or before the next ring bucket: spill every such
+		// entry into the ring before committing, or an earlier event
+		// would be stranded behind this bucket. Spills are heap pops —
+		// O(log n) per entry moved, once per entry's life.
+		l.spill(bNext)
+		slot = l.nextSlot(s0)
+		bNext = l.epoch + 1 + uint64((slot-s0)&(ladderSlots-1))
+	}
+	l.epoch = bNext
+	b := l.ring[slot]
+	l.cur.h = append(l.cur.h[:0], b...)
+	l.cur.init()
+	l.ring[slot] = b[:0]
+	l.occ[slot>>6] &^= 1 << (slot & 63)
+	l.ringN -= len(b)
+	return true
+}
+
+// nextSlot returns the first occupied slot at or circularly after s0.
+// The caller guarantees ringN > 0.
+func (l *ladder) nextSlot(s0 uint) uint {
+	w0, b0 := s0>>6, s0&63
+	if m := l.occ[w0] &^ (1<<b0 - 1); m != 0 {
+		return w0<<6 | uint(bits.TrailingZeros64(m))
+	}
+	for i := uint(1); i < ladderSlots/64; i++ {
+		w := (w0 + i) & (ladderSlots/64 - 1)
+		if m := l.occ[w]; m != 0 {
+			return w<<6 | uint(bits.TrailingZeros64(m))
+		}
+	}
+	if m := l.occ[w0] & (1<<b0 - 1); m != 0 {
+		return w0<<6 | uint(bits.TrailingZeros64(m))
+	}
+	panic("sim: ladder ring occupancy corrupt")
+}
+
+// spill pops overflow entries whose bucket is at or before bNext into
+// their ring buckets. All overflow buckets are strictly beyond the
+// epoch (refill's check prevents the epoch from ever passing a pending
+// overflow entry) and bNext <= epoch+256, so spilled entries always
+// have a valid ring slot.
+func (l *ladder) spill(bNext uint64) {
+	for l.over.len() > 0 {
+		b := uint64(l.over.minAt()) >> l.shift
+		if b > bNext {
+			return
+		}
+		l.ringPut(l.over.popMin(), b)
+	}
+}
+
+// migrate re-derives the bucket width from the overflow's mean event
+// density (bucketTarget entries per bucket) and redistributes:
+// minimum-bucket events into the current tier, in-reach events into
+// ring buckets, the rest re-heapified. Called only when cur and ring
+// are both empty and the overflow holds a density sample worth acting
+// on (>= rebuildLimit entries), which at the derived width happens
+// once per ~bucketTarget*ladderSlots pops, amortizing the O(n) pass.
+func (l *ladder) migrate() {
+	h := l.over.h
+	minI := 0
+	minAt, maxAt := h[0].at, h[0].at
+	for i, e := range h[1:] {
+		if e.at < minAt {
+			minAt, minI = e.at, i+1
+		}
+		if e.at > maxAt {
+			maxAt = e.at
+		}
+	}
+	shift := densityShift(uint64(maxAt-minAt), uint64(len(h)))
+	if l.fineShift != 0 && shift > l.fineShift {
+		// The mean density is diluted by far-future events, but a
+		// denser stretch has been observed: stay near that width so
+		// the next burst lands in the ring, and relax the clamp one
+		// notch so a workload that really did turn sparse converges
+		// back to its mean width within a few migrations.
+		shift = l.fineShift
+		l.fineShift++
+	}
+	l.shift = shift
+	h[0], h[minI] = h[minI], h[0]
+	l.over.h = h[:0]
+	l.redistribute(h)
+	// redistribute pushed beyond-reach entries back one by one, each a
+	// sift-up into the tier it came from; the heap invariant holds by
+	// construction.
+}
+
+// reset empties the queue keeping every backing array (current tier,
+// ring buckets, overflow heap), so a recycled engine's first events
+// re-enqueue without allocating. Entries hold no pointers, so stale
+// capacity needs no zeroing.
+func (l *ladder) reset() {
+	l.cur.h = l.cur.h[:0]
+	if l.ringN > 0 {
+		for i := range l.ring {
+			l.ring[i] = l.ring[i][:0]
+		}
+	}
+	l.occ = [ladderSlots / 64]uint64{}
+	l.ringN = 0
+	l.over.h = l.over.h[:0]
+	l.n = 0
+	l.shift = 0
+	l.epoch = 0
+	l.fineShift = 0
+	l.rebuildAt = 0
+}
+
+// entHeap is a binary min-heap of qent ordered by (at, seq). It backs
+// the ladder's current and overflow tiers and the reference queue
+// implementation.
+type entHeap struct {
+	h []qent
+}
+
+func (q *entHeap) len() int { return len(q.h) }
+
+// minAt returns the minimum entry's timestamp. len() > 0 required.
+func (q *entHeap) minAt() Time { return q.h[0].at }
+
+func (q *entHeap) push(e qent) {
+	h := append(q.h, e)
+	q.h = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the minimum entry. len() > 0 required.
+func (q *entHeap) popMin() qent {
+	h := q.h
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	q.h = h[:last]
+	q.siftDown(0)
+	return top
+}
+
+// siftDown restores the heap invariant below index i.
+func (q *entHeap) siftDown(i int) {
+	h := q.h
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && entLess(h[right], h[left]) {
+			least = right
+		}
+		if !entLess(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// init heapifies q.h in place (Floyd's bottom-up construction, O(n)).
+func (q *entHeap) init() {
+	for i := len(q.h)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+// refHeap is the reference implementation: a plain binary min-heap
+// over (at, seq). It exists so the differential suites can prove the
+// ladder pops the identical total order.
+type refHeap struct {
+	q entHeap
+}
+
+func (q *refHeap) size() int { return q.q.len() }
+
+func (q *refHeap) push(at Time, seq uint64, idx int32) {
+	q.q.push(qent{at: at, seq: seq, idx: idx})
+}
+
+func (q *refHeap) peek() (Time, bool) {
+	if q.q.len() == 0 {
+		return 0, false
+	}
+	return q.q.minAt(), true
+}
+
+func (q *refHeap) pop() (int32, bool) {
+	if q.q.len() == 0 {
+		return 0, false
+	}
+	return q.q.popMin().idx, true
+}
+
+func (q *refHeap) reset() { q.q.h = q.q.h[:0] }

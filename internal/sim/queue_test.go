@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// popAll drains q and returns the popped slot indices in order.
+func popAll(q queue) []int32 {
+	var out []int32
+	for {
+		idx, ok := q.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, idx)
+	}
+}
+
+// runDifferential drives a ladder and a refHeap through the identical
+// operation sequence and fails on the first divergence in pop order,
+// peek result or size. Because (at, seq) keys are unique, any two
+// correct priority queues must agree exactly. "Cancel" in the workload
+// sense is realized as pop-and-discard — the engine has no cancel API,
+// so removal always happens at the minimum.
+func runDifferential(t testing.TB, ops int, nextDelta func(r *rand.Rand) Time, r *rand.Rand) {
+	t.Helper()
+	var lad ladder
+	var ref refHeap
+	var now Time
+	var seq uint64
+	for i := 0; i < ops; i++ {
+		switch {
+		case ref.size() == 0 || r.Intn(3) > 0:
+			seq++
+			at := now + nextDelta(r)
+			idx := int32(seq)
+			lad.push(at, seq, idx)
+			ref.push(at, seq, idx)
+		default:
+			li, lok := lad.pop()
+			ri, rok := ref.pop()
+			if li != ri || lok != rok {
+				t.Fatalf("op %d: ladder popped (%d,%v), heap popped (%d,%v)", i, li, lok, ri, rok)
+			}
+		}
+		lp, lok := lad.peek()
+		rp, rok := ref.peek()
+		if lp != rp || lok != rok {
+			t.Fatalf("op %d: ladder peek (%v,%v), heap peek (%v,%v)", i, lp, lok, rp, rok)
+		}
+		if lok {
+			now = lp
+		}
+		if lad.size() != ref.size() {
+			t.Fatalf("op %d: ladder size %d, heap size %d", i, lad.size(), ref.size())
+		}
+	}
+	li, ri := popAll(&lad), popAll(&ref)
+	if len(li) != len(ri) {
+		t.Fatalf("drain lengths differ: ladder %d, heap %d", len(li), len(ri))
+	}
+	for i := range li {
+		if li[i] != ri[i] {
+			t.Fatalf("drain[%d]: ladder %d, heap %d", i, li[i], ri[i])
+		}
+	}
+}
+
+// TestLadderMatchesRefHeap is the queue-level differential suite: the
+// ladder must pop the exact (at, seq) total order of the reference
+// heap across delta regimes that exercise every tier — active-run
+// inserts (zero and tiny deltas, ties at one instant), ring buckets
+// (mid-range deltas), and the overflow with spill and migration
+// (heavy-tailed and huge deltas).
+func TestLadderMatchesRefHeap(t *testing.T) {
+	regimes := map[string]func(r *rand.Rand) Time{
+		"ties": func(r *rand.Rand) Time {
+			return Time(r.Intn(3)) * time.Millisecond
+		},
+		"micro": func(r *rand.Rand) Time {
+			return Time(r.Intn(2000)) * time.Nanosecond
+		},
+		"delivery": func(r *rand.Rand) Time {
+			d := ExpDuration(r, 25*time.Millisecond)
+			if r.Intn(2) == 0 {
+				return d + 8*time.Millisecond
+			}
+			return d + 120*time.Millisecond
+		},
+		"heavytail": func(r *rand.Rand) Time {
+			if r.Intn(16) == 0 {
+				return ExpDuration(r, 10*time.Hour)
+			}
+			return ExpDuration(r, time.Millisecond)
+		},
+		"horizon": func(r *rand.Rand) Time {
+			return ExpDuration(r, 30*24*time.Hour)
+		},
+	}
+	for name, delta := range regimes {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				runDifferential(t, 8_000, delta, NewStream(seed, "queue-diff", uint64(seed)))
+			}
+		})
+	}
+}
+
+// FuzzQueueOrder drives both queue implementations from raw bytes:
+// two bits select the operation (pop-and-discard, or a push whose
+// delta magnitude ranges from exact ties through ring-scale to
+// overflow-scale), and the remaining bits scale the delta. The ladder
+// must match the reference heap's pop order on every input.
+func FuzzQueueOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 254, 17, 0, 0, 129})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 1, 1})
+	f.Add([]byte{7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var lad ladder
+		var ref refHeap
+		var now Time
+		var seq uint64
+		for i, b := range data {
+			op := b & 3
+			mag := Time(b >> 2)
+			if op == 0 && ref.size() > 0 {
+				li, lok := lad.pop()
+				ri, rok := ref.pop()
+				if li != ri || lok != rok {
+					t.Fatalf("byte %d: ladder popped (%d,%v), heap popped (%d,%v)", i, li, lok, ri, rok)
+				}
+				continue
+			}
+			var delta Time
+			switch op {
+			case 1:
+				delta = mag * time.Nanosecond
+			case 2:
+				delta = mag * 40 * time.Microsecond
+			default:
+				delta = mag * 3 * time.Hour
+			}
+			seq++
+			lad.push(now+delta, seq, int32(seq))
+			ref.push(now+delta, seq, int32(seq))
+			lp, lok := lad.peek()
+			rp, rok := ref.peek()
+			if lp != rp || lok != rok {
+				t.Fatalf("byte %d: ladder peek (%v,%v), heap peek (%v,%v)", i, lp, lok, rp, rok)
+			}
+			now = lp
+		}
+		li, ri := popAll(&lad), popAll(&ref)
+		for i := range li {
+			if li[i] != ri[i] {
+				t.Fatalf("drain[%d]: ladder %d, heap %d", i, li[i], ri[i])
+			}
+		}
+		if len(li) != len(ri) {
+			t.Fatalf("drain lengths differ: ladder %d, heap %d", len(li), len(ri))
+		}
+	})
+}
+
+// TestLadderOverflowSpill pins the regression where the epoch advanced
+// past an overflow entry: an event pushed beyond the ring's reach must
+// still pop in order once near-future pushes have dragged the epoch
+// close to it.
+func TestLadderOverflowSpill(t *testing.T) {
+	var l ladder
+	// Two initial events force a migration with a nanosecond-scale
+	// span, fixing a tiny bucket width.
+	l.push(0, 1, 1)
+	l.push(200, 2, 2)
+	// Far beyond ring reach at shift ~0: goes to the overflow.
+	l.push(100_000, 3, 3)
+	// Walk the epoch toward the overflow entry with ring-range pushes,
+	// popping as we go, then past it: the overflow entry must surface
+	// in (at, seq) order, not after the later ring buckets.
+	var ref refHeap
+	ref.push(0, 1, 1)
+	ref.push(200, 2, 2)
+	ref.push(100_000, 3, 3)
+	seq := uint64(3)
+	at := Time(200)
+	for i := 0; i < 600; i++ {
+		at += 170
+		seq++
+		l.push(at, seq, int32(seq))
+		ref.push(at, seq, int32(seq))
+		if i%2 == 0 {
+			li, _ := l.pop()
+			ri, _ := ref.pop()
+			if li != ri {
+				t.Fatalf("step %d: ladder popped %d, heap popped %d", i, li, ri)
+			}
+		}
+	}
+	li, ri := popAll(&l), popAll(&ref)
+	if len(li) != len(ri) {
+		t.Fatalf("drain lengths differ: %d vs %d", len(li), len(ri))
+	}
+	for i := range li {
+		if li[i] != ri[i] {
+			t.Fatalf("drain[%d]: ladder %d, heap %d", i, li[i], ri[i])
+		}
+	}
+}
+
+// arrayPtr returns the backing-array pointer of a slice (valid for
+// zero-length slices too), for reuse identity checks.
+func arrayPtr[T any](s []T) uintptr { return reflect.ValueOf(s).Pointer() }
+
+// TestEngineResetKeepsQueueArrays is the warm-pool regression test for
+// the ladder queue: after a run that exercised the current tier, the
+// ring and the overflow, Reset must keep the slab and every queue
+// backing array (pointer identity), so a recycled engine's first
+// events allocate nothing.
+func TestEngineResetKeepsQueueArrays(t *testing.T) {
+	e := NewEngine(1)
+	if e.ref != nil {
+		t.Skip("reference heap selected; ladder reuse does not apply")
+	}
+	sink := func() {}
+	for i := 0; i < 2000; i++ {
+		e.Schedule(Time(i)*time.Millisecond, sink)
+	}
+	e.Schedule(30*24*time.Hour, sink) // overflow tier
+	if _, err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	slabPtr := arrayPtr(e.slab)
+	activePtr := arrayPtr(e.lq.cur.h)
+	overPtr := arrayPtr(e.lq.over.h)
+	ringPtrs := make([]uintptr, ladderSlots)
+	occupied := 0
+	for i := range e.lq.ring {
+		ringPtrs[i] = arrayPtr(e.lq.ring[i])
+		if cap(e.lq.ring[i]) > 0 {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		t.Fatal("workload never touched the ring; test is vacuous")
+	}
+
+	e.Reset(2)
+	if e.Pending() != 0 || e.Now() != 0 {
+		t.Fatalf("reset engine not empty: pending=%d now=%v", e.Pending(), e.Now())
+	}
+	if got := arrayPtr(e.slab); got != slabPtr {
+		t.Error("Reset replaced the slab backing array")
+	}
+	if got := arrayPtr(e.lq.cur.h); got != activePtr {
+		t.Error("Reset replaced the active-run backing array")
+	}
+	if got := arrayPtr(e.lq.over.h); got != overPtr {
+		t.Error("Reset replaced the overflow backing array")
+	}
+	for i := range e.lq.ring {
+		if arrayPtr(e.lq.ring[i]) != ringPtrs[i] {
+			t.Errorf("Reset replaced ring bucket %d's backing array", i)
+		}
+	}
+
+	// And the recycled queue must order a fresh workload correctly.
+	var got []Time
+	for i := 1999; i >= 0; i-- {
+		at := Time(i) * 500 * time.Microsecond
+		e.Schedule(at, func() { got = append(got, e.Now()) })
+	}
+	if _, err := e.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("recycled queue popped out of order at %d: %v > %v", i, got[i-1], got[i])
+		}
+	}
+	if len(got) != 2000 {
+		t.Fatalf("recycled queue ran %d events, want 2000", len(got))
+	}
+}
+
+// TestSetQueueImpl covers the differential-suite hook: engines built
+// under QueueRefHeap run on the reference heap and produce the same
+// behaviour, and the setting is restored without affecting existing
+// engines.
+func TestSetQueueImpl(t *testing.T) {
+	old := CurrentQueueImpl()
+	defer SetQueueImpl(old)
+
+	SetQueueImpl(QueueRefHeap)
+	if CurrentQueueImpl() != QueueRefHeap {
+		t.Fatal("CurrentQueueImpl did not report the override")
+	}
+	e := NewEngine(1)
+	if e.ref == nil {
+		t.Fatal("engine built under QueueRefHeap is not using the reference heap")
+	}
+	SetQueueImpl(QueueLadder)
+	var got []int
+	for i := 4; i >= 0; i-- {
+		i := i
+		e.Schedule(Time(i)*time.Millisecond, func() { got = append(got, i) })
+	}
+	if _, err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("heap engine ran out of order: %v", got)
+		}
+	}
+	if e2 := NewEngine(1); e2.ref != nil {
+		t.Fatal("engine built after restoring QueueLadder still uses the heap")
+	}
+}

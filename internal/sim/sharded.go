@@ -126,6 +126,7 @@ func NewSharded(global *Engine, numShards int, lookahead Time) *Sharded {
 			pendingMin: maxTime,
 		}
 		s.eng.seed = global.Seed()
+		s.eng.initQueue()
 		for d := range s.outMin {
 			s.outMin[d] = maxTime
 		}
@@ -371,7 +372,11 @@ func (s *Shard) runWindow(limit, advance Time) {
 	s.drainInbox()
 	n := 0
 	stopped := false
-	for len(s.eng.heap) > 0 && s.eng.slab[s.eng.heap[0]].at < limit {
+	for {
+		at, ok := s.eng.qPeek()
+		if !ok || at >= limit {
+			break
+		}
 		s.eng.execTop()
 		if n++; n&255 == 0 && s.parent.stopped.Load() {
 			stopped = true

@@ -1,0 +1,240 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ethmeasure/internal/geo"
+	"ethmeasure/internal/sim"
+)
+
+// traceSink records the exact delivery sequence (receiver, kind, num,
+// virtual time) so coalesced and uncoalesced runs can be compared
+// delivery-for-delivery.
+type traceSink struct {
+	engine *sim.Engine
+	name   string
+	out    *[]string
+}
+
+func (s *traceSink) DeliverEnvelope(env Envelope) {
+	*s.out = append(*s.out, fmt.Sprintf("%s k=%d n=%d at=%d", s.name, env.Kind, env.Num, s.engine.Now()))
+}
+
+// runCoalesceTrace drives the same send schedule with and without
+// coalescing: senders fan out bursts to two receivers over a
+// zero-jitter model, so same-instant ties are guaranteed.
+func runCoalesceTrace(t *testing.T, coalesce bool) []string {
+	t.Helper()
+	engine := sim.NewEngine(7)
+	net := New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+	if coalesce {
+		net.EnableCoalescing()
+	}
+	var nodes []*Node
+	for i := 0; i < 6; i++ {
+		ep, err := net.AddNode(geo.NorthAmerica, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, ep)
+	}
+	var trace []string
+	sinkA := &traceSink{engine: engine, name: "A", out: &trace}
+	sinkB := &traceSink{engine: engine, name: "B", out: &trace}
+	num := uint64(0)
+	for round := 0; round < 20; round++ {
+		// Announce-flood shape: several senders hit the same receiver
+		// in one instant, interleaved with sends to the other receiver.
+		for s := 2; s < 6; s++ {
+			num++
+			net.Send(nodes[s], nodes[0], 600, sinkA, Envelope{Kind: 1, Num: num})
+			if s%2 == 0 {
+				num++
+				net.Send(nodes[s], nodes[1], 600, sinkB, Envelope{Kind: 2, Num: num})
+			}
+		}
+		if _, err := engine.Run(engine.Now() + 50*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return trace
+}
+
+// TestCoalesceSameInstantOrder proves the coalescing contract on a
+// deliberately tie-heavy workload: per (destination, instant) the
+// delivery sequence is exactly the send sequence, and the overall
+// per-receiver stream is unchanged from the uncoalesced run.
+func TestCoalesceSameInstantOrder(t *testing.T) {
+	plain := runCoalesceTrace(t, false)
+	coal := runCoalesceTrace(t, true)
+	if len(plain) != len(coal) {
+		t.Fatalf("delivery counts differ: plain %d, coalesced %d", len(plain), len(coal))
+	}
+	// Zero-jitter same-size sends to A and B from one burst land at the
+	// same instant; cross-destination order within that instant is the
+	// one ordering coalescing may legally permute. Compare each
+	// receiver's subsequence, which must match exactly.
+	filter := func(trace []string, prefix string) []string {
+		var out []string
+		for _, line := range trace {
+			if line[0] == prefix[0] {
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	for _, recv := range []string{"A", "B"} {
+		p, c := filter(plain, recv), filter(coal, recv)
+		if len(p) != len(c) {
+			t.Fatalf("receiver %s: %d vs %d deliveries", recv, len(p), len(c))
+		}
+		for i := range p {
+			if p[i] != c[i] {
+				t.Fatalf("receiver %s delivery %d differs:\nplain:     %s\ncoalesced: %s", recv, i, p[i], c[i])
+			}
+		}
+	}
+}
+
+// TestCoalesceBitIdenticalUnderJitter checks the production-model
+// claim behind the config switch: with continuous jitter, exact ties
+// are measure-zero, so the full delivery trace — cross-destination
+// interleaving included — is bit-identical with coalescing on or off.
+func TestCoalesceBitIdenticalUnderJitter(t *testing.T) {
+	run := func(coalesce bool) []string {
+		engine := sim.NewEngine(11)
+		net := New(engine, geo.SharedDefaultLatencyModel())
+		if coalesce {
+			net.EnableCoalescing()
+		}
+		var nodes []*Node
+		regions := []geo.Region{geo.NorthAmerica, geo.EasternAsia, geo.WesternEurope, geo.CentralEurope}
+		for i := 0; i < 8; i++ {
+			ep, err := net.AddNode(regions[i%len(regions)], 12.5e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, ep)
+		}
+		var trace []string
+		sinks := make([]*traceSink, len(nodes))
+		for i := range sinks {
+			sinks[i] = &traceSink{engine: engine, name: fmt.Sprintf("n%d", i), out: &trace}
+		}
+		num := uint64(0)
+		for round := 0; round < 30; round++ {
+			for s := range nodes {
+				for d := range nodes {
+					if d == s {
+						continue
+					}
+					num++
+					net.Send(nodes[s], nodes[d], 200+100*s, sinks[d], Envelope{Kind: int32(s), Num: num})
+				}
+			}
+			if _, err := engine.Run(engine.Now() + time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return trace
+	}
+	plain, coal := run(false), run(true)
+	if len(plain) != len(coal) {
+		t.Fatalf("delivery counts differ: plain %d, coalesced %d", len(plain), len(coal))
+	}
+	for i := range plain {
+		if plain[i] != coal[i] {
+			t.Fatalf("delivery %d differs:\nplain:     %s\ncoalesced: %s", i, plain[i], coal[i])
+		}
+	}
+}
+
+// TestCoalesceZeroAllocs extends the steady-state delivery budget to
+// the coalesced path: batches, their key map and the drain events must
+// all recycle.
+func TestCoalesceZeroAllocs(t *testing.T) {
+	engine := sim.NewEngine(1)
+	net := New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+	net.EnableCoalescing()
+	a, _ := net.AddNode(geo.NorthAmerica, 1e9)
+	b, _ := net.AddNode(geo.NorthAmerica, 1e9)
+	c, _ := net.AddNode(geo.NorthAmerica, 1e9)
+	sink := &countingSink{}
+	payload := &struct{ x int }{42}
+	warm := func() {
+		for i := 0; i < 16; i++ {
+			net.Send(a, c, 100, sink, Envelope{Kind: 1, Data: payload, Num: uint64(i)})
+			net.Send(b, c, 100, sink, Envelope{Kind: 1, Data: payload, Num: uint64(i)})
+			net.Send(a, b, 100, sink, Envelope{Kind: 1, Data: payload, Num: uint64(i)})
+		}
+		if _, err := engine.Run(engine.Now() + time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 320; i++ {
+		warm()
+	}
+	allocs := testing.AllocsPerRun(200, warm)
+	if allocs != 0 {
+		t.Fatalf("steady-state coalesced delivery allocated %.1f times per batch round, want 0", allocs)
+	}
+	if sink.delivered == 0 {
+		t.Fatal("sink saw no deliveries")
+	}
+	if net.CoalescedBatches() == 0 {
+		t.Fatal("no batches drained; coalescing never engaged")
+	}
+}
+
+// TestCoalesceReset pins Reset's coalescing contract: state is cleared
+// (coalescing off, undrained batch references released, counters
+// zeroed) while the batch slab's backing arrays are kept.
+func TestCoalesceReset(t *testing.T) {
+	engine := sim.NewEngine(1)
+	net := New(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+	net.EnableCoalescing()
+	a, _ := net.AddNode(geo.NorthAmerica, 1e9)
+	b, _ := net.AddNode(geo.NorthAmerica, 1e9)
+	sink := &countingSink{}
+	for i := 0; i < 8; i++ {
+		net.Send(a, b, 100, sink, Envelope{Kind: 1, Num: uint64(i)})
+	}
+	// Leave the batch undrained: Reset must release its references.
+	engine.Reset(2)
+	net.Reset(engine, geo.UniformLatencyModel(10*time.Millisecond, 0))
+	if net.coalesce {
+		t.Fatal("Reset left coalescing enabled")
+	}
+	if net.CoalescedBatches() != 0 {
+		t.Fatal("Reset did not zero the batch counter")
+	}
+	if len(net.batchAt) != 0 {
+		t.Fatal("Reset left keyed batches behind")
+	}
+	if len(net.freeBatches) != len(net.batches) {
+		t.Fatalf("free list holds %d of %d batches after Reset", len(net.freeBatches), len(net.batches))
+	}
+	for i := range net.batches {
+		envs := net.batches[i].envs[:cap(net.batches[i].envs)]
+		for j := range envs {
+			if envs[j].sink != nil || envs[j].env.Data != nil {
+				t.Fatalf("batch %d slot %d still holds references after Reset", i, j)
+			}
+		}
+	}
+	// A recycled network must coalesce again after re-enabling.
+	net.EnableCoalescing()
+	a2, _ := net.AddNode(geo.NorthAmerica, 1e9)
+	b2, _ := net.AddNode(geo.NorthAmerica, 1e9)
+	for i := 0; i < 4; i++ {
+		net.Send(a2, b2, 100, sink, Envelope{Kind: 2, Num: uint64(i)})
+	}
+	if _, err := engine.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if net.Delivered() != 4 || net.CoalescedBatches() != 1 {
+		t.Fatalf("recycled network delivered %d in %d batches, want 4 in 1", net.Delivered(), net.CoalescedBatches())
+	}
+}
