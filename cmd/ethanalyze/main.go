@@ -6,10 +6,13 @@
 // The log is processed as a stream: each record is folded into the
 // analysis collector's incremental state as it is parsed, so memory is
 // bounded by distinct blocks and transactions, never by file size.
+// Both log encodings (binary ethlog and JSONL) are auto-detected;
+// -format pins the decoder when auto-detection must be bypassed.
 //
 // Usage:
 //
-//	ethanalyze -logs logs.jsonl [-top 15]
+//	ethanalyze -logs logs.ethlog [-top 15] [-format binary|jsonl]
+//	ethanalyze -logs logs.jsonl -convert logs.ethlog [-to binary|jsonl]
 package main
 
 import (
@@ -38,9 +41,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ethanalyze", flag.ContinueOnError)
 	var (
-		logPath = fs.String("logs", "", "campaign JSONL log file (required)")
-		topN    = fs.Int("top", 15, "pools to list individually in per-pool breakdowns")
-		version = fs.Bool("version", false, "print build version and exit")
+		logPath     = fs.String("logs", "", "campaign log file, binary or JSONL (required)")
+		topN        = fs.Int("top", 15, "pools to list individually in per-pool breakdowns")
+		format      = fs.String("format", "", "input encoding: binary | jsonl (default: auto-detect)")
+		convertPath = fs.String("convert", "", "transcode the log to this path instead of analyzing")
+		convertTo   = fs.String("to", "", "target encoding for -convert: binary | jsonl (default: the opposite of the input)")
+		version     = fs.Bool("version", false, "print build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,13 +58,27 @@ func run(args []string) error {
 	if *logPath == "" {
 		return fmt.Errorf("-logs is required")
 	}
+	inFormat, err := logs.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	if *convertPath != "" {
+		outFormat, err := logs.ParseFormat(*convertTo)
+		if err != nil {
+			return err
+		}
+		return convert(*logPath, *convertPath, inFormat, outFormat)
+	}
+	if *convertTo != "" {
+		return fmt.Errorf("-to only makes sense with -convert")
+	}
 
 	f, err := os.Open(*logPath)
 	if err != nil {
 		return fmt.Errorf("logs: open: %w", err)
 	}
 	defer f.Close()
-	reader := logs.NewReader(f)
+	reader := logs.NewReaderFormat(f, inFormat)
 
 	first, err := reader.Next()
 	if err == io.EOF {
@@ -100,7 +120,7 @@ func run(args []string) error {
 		// the main pass restarts from the top. The default-peers node
 		// cannot be identified without metadata, so all vantages are
 		// treated as primary.
-		names, err := scanVantages(*logPath)
+		names, err := scanVantages(*logPath, inFormat)
 		if err != nil {
 			return err
 		}
@@ -109,7 +129,7 @@ func run(args []string) error {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return err
 		}
-		reader = logs.NewReader(f)
+		reader = logs.NewReaderFormat(f, inFormat)
 	}
 
 	if len(dataset.Vantages) > analysis.MaxVantages {
@@ -208,15 +228,70 @@ func run(args []string) error {
 	return nil
 }
 
+// convert transcodes a campaign log between encodings. The default
+// target is the opposite of the (detected) input encoding, so plain
+// `-convert out` migrates a JSONL spill to binary and extracts a
+// binary spill back to JSONL for external tooling.
+func convert(src, dst string, inFormat, outFormat logs.Format) (err error) {
+	f, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("logs: open: %w", err)
+	}
+	defer f.Close()
+	reader := logs.NewReaderFormat(f, inFormat)
+
+	// Sniff before creating the output so the default target can be
+	// "whatever the input is not".
+	first, ferr := reader.Next()
+	if ferr != nil && ferr != io.EOF {
+		return ferr
+	}
+	if outFormat == "" {
+		outFormat = logs.FormatBinary
+		if reader.Format() == logs.FormatBinary {
+			outFormat = logs.FormatJSONL
+		}
+	}
+	w, err := logs.CreateFileFormat(dst, outFormat)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if ferr == io.EOF {
+		fmt.Printf("converted 0 entries (%s -> %s) to %s\n", reader.Format(), outFormat, dst)
+		return nil
+	}
+	w.Write(first)
+	for {
+		e, rerr := reader.Next()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+		w.Write(e)
+		if werr := w.Err(); werr != nil {
+			return werr
+		}
+	}
+	fmt.Printf("converted %d entries (%s -> %s) to %s\n", w.Entries(), reader.Format(), outFormat, dst)
+	return nil
+}
+
 // scanVantages streams a legacy (metadata-less) log once, collecting
 // the vantage names that appear in block records, sorted.
-func scanVantages(path string) ([]string, error) {
+func scanVantages(path string, format logs.Format) ([]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("logs: open: %w", err)
 	}
 	defer f.Close()
-	reader := logs.NewReader(f)
+	reader := logs.NewReaderFormat(f, format)
 	seen := make(map[string]bool)
 	var names []string
 	for {

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -98,6 +102,107 @@ func TestRunAnalyzesLegacyFileWithoutMeta(t *testing.T) {
 	}
 }
 
+// captureRun executes run() with stdout captured, normalizing the log
+// path out of the output so reports over differently named files
+// compare byte-for-byte.
+func captureRun(t *testing.T, args []string, paths ...string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	s := string(out)
+	for _, p := range paths {
+		s = strings.ReplaceAll(s, p, "LOG")
+	}
+	return s
+}
+
+// TestGoldenCrossFormatAnalysis is the end-to-end golden test: the
+// same campaign analyzed from a binary log and from its JSONL
+// transcription must print byte-identical reports (every table,
+// figure and key metric), and converting back to binary must
+// reproduce the original file byte-for-byte.
+func TestGoldenCrossFormatAnalysis(t *testing.T) {
+	cfg := analyzerConfig()
+	campaign, err := ethmeasure.NewCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "campaign.ethlog")
+	if err := campaign.WriteLogs(binPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[0] == '{' {
+		t.Fatal("WriteLogs default format is not binary")
+	}
+
+	// Transcode binary -> JSONL -> binary.
+	jsonlPath := filepath.Join(dir, "campaign.jsonl")
+	captureRun(t, []string{"-logs", binPath, "-convert", jsonlPath}, binPath, jsonlPath)
+	jraw, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jraw[0] != '{' {
+		t.Fatal("default convert target for a binary log must be JSONL")
+	}
+	backPath := filepath.Join(dir, "back.ethlog")
+	captureRun(t, []string{"-logs", jsonlPath, "-convert", backPath}, jsonlPath, backPath)
+	braw, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, braw) {
+		t.Errorf("binary -> jsonl -> binary round trip not byte-identical (%d vs %d bytes)", len(raw), len(braw))
+	}
+
+	// All three logs must analyze to byte-identical reports.
+	outBin := captureRun(t, []string{"-logs", binPath}, binPath)
+	outJSONL := captureRun(t, []string{"-logs", jsonlPath}, jsonlPath)
+	outBack := captureRun(t, []string{"-logs", backPath}, backPath)
+	if outBin != outJSONL {
+		t.Errorf("binary and JSONL analyses diverge:\n--- binary ---\n%.400s\n--- jsonl ---\n%.400s", outBin, outJSONL)
+	}
+	if outBin != outBack {
+		t.Error("round-tripped binary analysis diverges from the original")
+	}
+
+	// -format pins the decoder: the right pin works, the wrong pin is
+	// an explicit error rather than garbage output.
+	_ = captureRun(t, []string{"-logs", jsonlPath, "-format", "jsonl"}, jsonlPath)
+	if err := run([]string{"-logs", jsonlPath, "-format", "binary"}); err == nil {
+		t.Error("-format binary accepted a JSONL file")
+	}
+	if err := run([]string{"-logs", binPath, "-format", "bogus"}); err == nil {
+		t.Error("bogus -format accepted")
+	}
+	if err := run([]string{"-logs", binPath, "-to", "jsonl"}); err == nil {
+		t.Error("-to without -convert accepted")
+	}
+}
+
 func TestScanVantages(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "legacy.jsonl")
 	blocks := []measure.BlockRecord{
@@ -107,7 +212,7 @@ func TestScanVantages(t *testing.T) {
 	if err := logs.WriteFile(path, blocks, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := scanVantages(path)
+	got, err := scanVantages(path, "")
 	if err != nil {
 		t.Fatal(err)
 	}

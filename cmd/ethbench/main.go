@@ -34,6 +34,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,6 +56,8 @@ import (
 	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/core"
 	"ethmeasure/internal/geo"
+	"ethmeasure/internal/logs"
+	"ethmeasure/internal/measure"
 	"ethmeasure/internal/scenario"
 	"ethmeasure/internal/sim"
 	"ethmeasure/internal/simnet"
@@ -680,6 +683,213 @@ func chainDispatchEntries(w io.Writer) []Entry {
 	return entries
 }
 
+// benchRecords builds a deterministic synthetic record corpus with the
+// field distribution of a real campaign spill: a handful of vantages,
+// mostly compact-kind block records with an occasional announce and
+// fetched, zig-zag-sensitive signed fields (negative NTP-skewed
+// arrival offsets near the epoch, Miner -1 for unattributed blocks).
+func benchRecords(n int) ([]measure.BlockRecord, []measure.TxRecord) {
+	vantages := []string{"NA", "EA", "WE", "CE"}
+	kinds := []string{"block", "block", "block", "announce", "fetched"}
+	rng := rand.New(rand.NewSource(42))
+	blocks := make([]measure.BlockRecord, n)
+	for i := range blocks {
+		miner := int64(rng.Intn(32))
+		if i%97 == 0 {
+			miner = -1
+		}
+		blocks[i] = measure.BlockRecord{
+			Vantage: vantages[rng.Intn(len(vantages))],
+			At:      time.Duration(rng.Int63n(int64(20*time.Minute))) - time.Minute,
+			Hash:    types.Hash(rng.Uint64()),
+			Number:  uint64(i / 4),
+			Miner:   types.PoolID(miner),
+			Parent:  types.Hash(rng.Uint64()),
+			From:    types.NodeID(rng.Intn(2000) - 1),
+			Kind:    kinds[rng.Intn(len(kinds))],
+			NTxs:    rng.Intn(200),
+			Size:    500 + rng.Intn(30000),
+		}
+	}
+	txs := make([]measure.TxRecord, n)
+	for i := range txs {
+		txs[i] = measure.TxRecord{
+			Vantage: vantages[rng.Intn(len(vantages))],
+			At:      time.Duration(rng.Int63n(int64(20 * time.Minute))),
+			Hash:    types.Hash(rng.Uint64()),
+			Sender:  types.AccountID(rng.Intn(500)),
+			Nonce:   uint64(rng.Intn(4000)),
+			From:    types.NodeID(rng.Intn(2000) - 1),
+		}
+	}
+	return blocks, txs
+}
+
+// encodeLog writes the whole corpus once in the given format and
+// returns the serialized bytes (decode-benchmark input).
+func encodeLog(format logs.Format, blocks []measure.BlockRecord, txs []measure.TxRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	lw := logs.NewWriterFormat(&buf, format)
+	for i := range blocks {
+		lw.RecordBlock(blocks[i])
+		lw.RecordTx(txs[i])
+	}
+	if err := lw.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// bestOf reruns a benchmark and keeps the fastest result. The JSONL
+// codec paths allocate enough per record that a single
+// testing.Benchmark sample jitters with GC timing beyond the 15% CI
+// gate; the minimum across five samples is the standard stable
+// estimator for that.
+func bestOf(n int, bench func() testing.BenchmarkResult) testing.BenchmarkResult {
+	best := bench()
+	for i := 1; i < n; i++ {
+		if r := bench(); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// logsEntries microbenchmarks the record pipeline itself: spill
+// encoding (binary vs JSONL, ns and allocs per record — the per-record
+// cost every bounded-memory campaign pays), decoding (the re-analysis
+// read path), the record fingerprinter (paid per record on every
+// checkpointed run), and analysis/stream (decode + collector fold, the
+// full ethanalyze inner loop). All gate against BENCH_baseline.json
+// like every other entry; the binary encoder additionally has a
+// 0 allocs/record pin in internal/logs.
+func logsEntries(w io.Writer) ([]Entry, error) {
+	const n = 4096
+	blocks, txs := benchRecords(n)
+
+	encode := func(format logs.Format) testing.BenchmarkResult {
+		return bestOf(5, func() testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				lw := logs.NewWriterFormat(io.Discard, format)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					j := i % n
+					if i%2 == 0 {
+						lw.RecordBlock(blocks[j])
+					} else {
+						lw.RecordTx(txs[j])
+					}
+				}
+				b.StopTimer()
+				if err := lw.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+
+	binData, err := encodeLog(logs.FormatBinary, blocks, txs)
+	if err != nil {
+		return nil, err
+	}
+	jsonlData, err := encodeLog(logs.FormatJSONL, blocks, txs)
+	if err != nil {
+		return nil, err
+	}
+	decode := func(format logs.Format, data []byte) testing.BenchmarkResult {
+		return bestOf(5, func() testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				r := logs.NewReaderFormat(bytes.NewReader(data), format)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e, err := r.Next()
+					if err == io.EOF {
+						r = logs.NewReaderFormat(bytes.NewReader(data), format)
+						e, err = r.Next()
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					if e.Kind != logs.KindBlock && e.Kind != logs.KindTx {
+						b.Fatalf("unexpected entry kind %q", e.Kind)
+					}
+				}
+			})
+		})
+	}
+
+	fingerprint := bestOf(5, func() testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fp := logs.NewRecordFingerprinter()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % n
+				if i%2 == 0 {
+					fp.RecordBlock(blocks[j])
+				} else {
+					fp.RecordTx(txs[j])
+				}
+			}
+			b.StopTimer()
+			if fp.Blocks()+fp.Txs() == 0 {
+				b.Fatal("fingerprinter consumed no records")
+			}
+		})
+	})
+
+	// analysis/stream: the ethanalyze inner loop — decode a binary
+	// frame, fold the record into the streaming collector.
+	stream := bestOf(5, func() testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			ds := &analysis.Dataset{Vantages: []string{"NA", "EA", "WE", "CE"}, InterBlock: 13300 * time.Millisecond}
+			collector := analysis.NewCollector(ds, "")
+			r := logs.NewReaderFormat(bytes.NewReader(binData), logs.FormatBinary)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err := r.Next()
+				if err == io.EOF {
+					r = logs.NewReaderFormat(bytes.NewReader(binData), logs.FormatBinary)
+					e, err = r.Next()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				switch e.Kind {
+				case logs.KindBlock:
+					collector.RecordBlock(*e.Block)
+				case logs.KindTx:
+					collector.RecordTx(*e.Tx)
+				}
+			}
+			b.StopTimer()
+			if collector.BlockRecords()+collector.TxRecords() == 0 {
+				b.Fatal("collector folded no records")
+			}
+		})
+	})
+
+	binEnc, jsonlEnc := encode(logs.FormatBinary), encode(logs.FormatJSONL)
+	entries := []Entry{
+		{Name: "logs/encode", NsPerOp: float64(binEnc.NsPerOp()), AllocsPerOp: float64(binEnc.AllocsPerOp())},
+		{Name: "logs/encode/jsonl", NsPerOp: float64(jsonlEnc.NsPerOp()), AllocsPerOp: float64(jsonlEnc.AllocsPerOp())},
+	}
+	binDec, jsonlDec := decode(logs.FormatBinary, binData), decode(logs.FormatJSONL, jsonlData)
+	entries = append(entries,
+		Entry{Name: "logs/decode", NsPerOp: float64(binDec.NsPerOp()), AllocsPerOp: float64(binDec.AllocsPerOp())},
+		Entry{Name: "logs/decode/jsonl", NsPerOp: float64(jsonlDec.NsPerOp()), AllocsPerOp: float64(jsonlDec.AllocsPerOp())},
+		Entry{Name: "logs/fingerprint", NsPerOp: float64(fingerprint.NsPerOp()), AllocsPerOp: float64(fingerprint.AllocsPerOp())},
+		Entry{Name: "analysis/stream", NsPerOp: float64(stream.NsPerOp()), AllocsPerOp: float64(stream.AllocsPerOp())},
+	)
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-22s %9.1f ns/op    %8.3f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+	return entries, nil
+}
+
 // compare checks fresh entries against a baseline report. ns and
 // allocs may regress by at most threshold (fractionally); allocs get a
 // small absolute epsilon so a 0-alloc baseline does not flag noise.
@@ -769,6 +979,7 @@ func run(args []string, w io.Writer) error {
 	vantagePeers := fs.Int("vantage-peers", 0, "re-peer primary vantages with this many nodes (0 = default 50 cap); raises record volume for analysis-phase benchmarks")
 	shards := fs.Int("shards", 1, "event-engine shards (1 = serial, the baseline-comparable default; 0 = one per geo region up to GOMAXPROCS; non-serial entries are name-suffixed)")
 	skipDispatch := fs.Bool("skip-dispatch", false, "skip the chain protocol-dispatch microbenchmarks")
+	skipLogs := fs.Bool("skip-logs", false, "skip the record-pipeline microbenchmarks (logs/* and analysis/stream entries)")
 	skipReuse := fs.Bool("skip-reuse", false, "skip the warm-run pooling benchmark (reuse/* entries)")
 	reuseRuns := fs.Int("reuse-runs", 4, "averaged runs per mode in the warm-run pooling benchmark")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole benchmark run to this file")
@@ -834,6 +1045,13 @@ func run(args []string, w io.Writer) error {
 	}
 	if !*skipDispatch {
 		report.Entries = append(report.Entries, chainDispatchEntries(w)...)
+	}
+	if !*skipLogs {
+		entries, err := logsEntries(w)
+		if err != nil {
+			return err
+		}
+		report.Entries = append(report.Entries, entries...)
 	}
 	for _, s := range scales {
 		modes := []bool{*retain}

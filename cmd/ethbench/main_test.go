@@ -56,7 +56,7 @@ func TestRunTinyCampaignWritesReport(t *testing.T) {
 	}
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := run([]string{"-scales", "40:1", "-skip-engine", "-skip-dispatch", "-out", out}, &buf); err != nil {
+	if err := run([]string{"-scales", "40:1", "-skip-engine", "-skip-dispatch", "-skip-logs", "-out", out}, &buf); err != nil {
 		t.Fatalf("run: %v\n%s", err, buf.String())
 	}
 	data, err := os.ReadFile(out)
@@ -76,7 +76,7 @@ func TestRunTinyCampaignWritesReport(t *testing.T) {
 	}
 
 	// Self-comparison must pass...
-	if err := run([]string{"-scales", "40:1", "-skip-engine", "-skip-dispatch", "-out", "", "-baseline", out, "-threshold", "100"}, &buf); err != nil {
+	if err := run([]string{"-scales", "40:1", "-skip-engine", "-skip-dispatch", "-skip-logs", "-out", "", "-baseline", out, "-threshold", "100"}, &buf); err != nil {
 		t.Fatalf("self-compare failed: %v\n%s", err, buf.String())
 	}
 }

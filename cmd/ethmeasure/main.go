@@ -7,7 +7,8 @@
 //
 //	ethmeasure [-preset quick|default|paper] [-seed N] [-duration D]
 //	           [-nodes N] [-txrate R] [-shards N] [-progress]
-//	           [-print-infra] [-logs PATH] [-protocol name[:key=val,...]]
+//	           [-print-infra] [-logs PATH] [-format binary|jsonl]
+//	           [-protocol name[:key=val,...]]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"ethmeasure"
 	"ethmeasure/internal/cliutil"
 	"ethmeasure/internal/core"
+	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/report"
 )
@@ -44,7 +46,8 @@ func run(args []string) error {
 		shards     = fs.Int("shards", 0, "event-engine shards (0 = one per geo region up to GOMAXPROCS, 1 = serial)")
 		progress   = fs.Bool("progress", false, "print live progress lines during the run")
 		printInfra = fs.Bool("print-infra", false, "print Table I (infrastructure) and exit")
-		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this JSONL file")
+		logPath    = fs.String("logs", "", "write measurement logs + chain dump to this file")
+		format     = fs.String("format", "", "log encoding for -logs: binary | jsonl (default binary)")
 		protocol   = fs.String("protocol", "", "consensus protocol: name[:key=val,...] (default ethereum; see ethsim -list-protocols)")
 		version    = fs.Bool("version", false, "print build version and exit")
 		scens      cliutil.StringList
@@ -92,6 +95,11 @@ func run(args []string) error {
 		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
 	}
 	cfg.Shards = *shards
+	spillFormat, err := logs.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	cfg.SpillFormat = spillFormat
 	if *protocol != "" {
 		spec, err := ethmeasure.ParseProtocol(*protocol)
 		if err != nil {

@@ -1,12 +1,15 @@
 // Command ethsim runs the network simulation and writes the raw
-// measurement logs (plus the chain dump) to a JSONL file — the
+// measurement logs (plus the chain dump) to a campaign log file — the
 // simulated equivalent of the paper's instrumented Geth deployment,
-// producing the dataset that cmd/ethanalyze post-processes.
+// producing the dataset that cmd/ethanalyze post-processes. The log
+// encodes as compact binary ethlog frames by default; -format jsonl
+// selects JSON Lines for interop.
 //
 // Usage:
 //
-//	ethsim -out logs.jsonl [-preset quick|default|paper] [-seed N]
+//	ethsim -out logs.ethlog [-preset quick|default|paper] [-seed N]
 //	       [-duration D] [-nodes N] [-no-tx] [-shards N] [-stream] [-progress]
+//	       [-format binary|jsonl]
 //	       [-protocol name[:key=val,...]]
 //	       [-scenario name[:key=val,...]]...
 //	ethsim -list-scenarios
@@ -37,6 +40,7 @@ import (
 	"ethmeasure"
 	"ethmeasure/internal/cliutil"
 	"ethmeasure/internal/consensus"
+	"ethmeasure/internal/logs"
 	"ethmeasure/internal/scenario"
 )
 
@@ -50,7 +54,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ethsim", flag.ContinueOnError)
 	var (
-		out        = fs.String("out", "", "output JSONL file (required)")
+		out        = fs.String("out", "", "output log file (required)")
+		format     = fs.String("format", "", "log encoding: binary | jsonl (default binary)")
 		preset     = fs.String("preset", "quick", "configuration preset: quick | default | paper")
 		seed       = fs.Int64("seed", 1, "simulation seed")
 		duration   = fs.Duration("duration", 0, "override virtual campaign duration")
@@ -110,6 +115,11 @@ func run(args []string) error {
 		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
 	}
 	cfg.Shards = *shards
+	spillFormat, err := logs.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	cfg.SpillFormat = spillFormat
 	if *stream {
 		cfg.RetainRecords = false
 		cfg.SpillPath = *out

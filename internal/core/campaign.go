@@ -369,11 +369,18 @@ func (c *Campaign) build() error {
 	// The metadata entry leads the file (the network is fully sized
 	// here); the chain dump is appended when the run finishes.
 	if cfg.SpillPath != "" {
-		spill, err := logs.CreateFile(cfg.SpillPath)
+		spill, err := logs.CreateFileFormat(cfg.SpillPath, cfg.SpillFormat)
 		if err != nil {
 			return err
 		}
 		spill.Write(&logs.Entry{Kind: logs.KindMeta, Meta: c.LogMeta()})
+		// Force the metadata entry through to the OS now: a full disk
+		// (or any unwritable spill target) must fail the run at start,
+		// not after the campaign has burned hours and hits finalize.
+		if err := spill.Flush(); err != nil {
+			spill.Close()
+			return fmt.Errorf("core: spill %s: %w", cfg.SpillPath, err)
+		}
 		c.spill = spill
 		c.bus.Attach(spill)
 	}
@@ -575,13 +582,14 @@ func (c *Campaign) LogMeta() *logs.Meta {
 }
 
 // WriteLogs persists the campaign's records, chain dump and metadata to
-// a JSONL file compatible with cmd/ethanalyze. It needs the retained
+// a file compatible with cmd/ethanalyze, encoded per
+// Config.SpillFormat (binary by default). It needs the retained
 // records; bounded-memory campaigns stream to Config.SpillPath instead.
 func (c *Campaign) WriteLogs(path string) error {
 	if c.recorder == nil {
 		return fmt.Errorf("core: raw records were not retained (RetainRecords=false); set Config.SpillPath to stream them to disk during the run")
 	}
-	return logs.WriteCampaignFile(path, c.LogMeta(), c.recorder.Blocks, c.recorder.Txs, c.registry)
+	return logs.WriteCampaignFileFormat(path, c.cfg.SpillFormat, c.LogMeta(), c.recorder.Blocks, c.recorder.Txs, c.registry)
 }
 
 // analyze assembles every per-figure result: record-driven analyses

@@ -15,6 +15,7 @@ import (
 	"ethmeasure/internal/analysis"
 	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/geo"
+	"ethmeasure/internal/logs"
 	"ethmeasure/internal/measure"
 	"ethmeasure/internal/mining"
 	"ethmeasure/internal/p2p"
@@ -195,12 +196,18 @@ type Config struct {
 	// both modes.
 	RetainRecords bool
 
-	// SpillPath, when non-empty, streams every raw record to a JSONL
+	// SpillPath, when non-empty, streams every raw record to a
 	// campaign log at this path as it is produced (metadata first,
 	// chain dump appended at the end of the run) — the bounded-memory
 	// replacement for WriteLogs. The file is compatible with
 	// cmd/ethanalyze.
 	SpillPath string
+
+	// SpillFormat selects the encoding for SpillPath and WriteLogs
+	// output: logs.FormatBinary (the default when empty; compact
+	// ethlog frames) or logs.FormatJSONL for interop with external
+	// tooling. Readers auto-detect, so either loads everywhere.
+	SpillFormat logs.Format
 }
 
 // DefaultConfig returns a laptop-scale campaign that preserves the
@@ -369,6 +376,9 @@ func (c *Config) Validate() error {
 		if c.SenderDistribution == nil {
 			return fmt.Errorf("core: tx workload enabled but sender distribution is nil")
 		}
+	}
+	if !c.SpillFormat.Valid() {
+		return fmt.Errorf("core: unknown spill format %q (want %q or %q)", c.SpillFormat, logs.FormatBinary, logs.FormatJSONL)
 	}
 	if err := consensus.Validate(c.Protocol); err != nil {
 		return fmt.Errorf("core: %w", err)

@@ -7,7 +7,7 @@ import (
 	"testing"
 	"time"
 
-	"ethmeasure/internal/types"
+	"ethmeasure/internal/logs"
 )
 
 // fingerprint folds every observable output of a finished campaign —
@@ -17,21 +17,18 @@ import (
 func fingerprint(c *Campaign, res *Results) string {
 	h := sha256.New()
 
+	// Records and chain go through the production digests
+	// (logs.RecordFingerprinter / logs.ChainFingerprint), the same
+	// ones checkpoint replay verification compares.
+	fp := logs.NewRecordFingerprinter()
 	for i := range c.recorder.Blocks {
-		r := &c.recorder.Blocks[i]
-		fmt.Fprintf(h, "B|%s|%d|%s|%d|%d|%s|%d|%s|%d|%d\n",
-			r.Vantage, r.At, r.Hash, r.Number, r.Miner, r.Parent, r.From, r.Kind, r.NTxs, r.Size)
+		fp.RecordBlock(c.recorder.Blocks[i])
 	}
 	for i := range c.recorder.Txs {
-		r := &c.recorder.Txs[i]
-		fmt.Fprintf(h, "T|%s|%d|%s|%d|%d|%d\n",
-			r.Vantage, r.At, r.Hash, r.Sender, r.Nonce, r.From)
+		fp.RecordTx(c.recorder.Txs[i])
 	}
-	c.registry.Blocks(func(b *types.Block) bool {
-		fmt.Fprintf(h, "C|%s|%s|%d|%d|%d|%d|%d\n",
-			b.Hash, b.ParentHash, b.Number, b.Miner, b.MinedAt, b.TotalDiff, len(b.TxHashes))
-		return true
-	})
+	fmt.Fprintf(h, "records|%s\n", fp.Sum())
+	fmt.Fprintf(h, "chain|%s\n", logs.ChainFingerprint(c.registry))
 
 	// Key analysis numbers, printed with full float precision so any
 	// numeric drift shows up.

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
-	"fmt"
-	"hash"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -13,42 +9,25 @@ import (
 
 	"ethmeasure/internal/consensus"
 	"ethmeasure/internal/logs"
-	"ethmeasure/internal/measure"
 	"ethmeasure/internal/scenario"
-	"ethmeasure/internal/types"
 )
 
 // recordHasher is a bus consumer that folds every record into a hash
 // as it streams by — the bounded-memory equivalent of fingerprinting
-// retained record slices. The line format matches fingerprint() in
-// determinism_test.go.
+// retained record slices. It is anchored on logs.RecordFingerprinter,
+// the exact digest the checkpoint/restore pipeline persists, so the
+// equivalence suite and production replay verification can never
+// drift apart.
 type recordHasher struct {
-	h hash.Hash
+	*logs.RecordFingerprinter
 }
 
-func newRecordHasher() *recordHasher { return &recordHasher{h: sha256.New()} }
+func newRecordHasher() *recordHasher { return &recordHasher{logs.NewRecordFingerprinter()} }
 
-func (r *recordHasher) RecordBlock(rec measure.BlockRecord) {
-	fmt.Fprintf(r.h, "B|%s|%d|%s|%d|%d|%s|%d|%s|%d|%d\n",
-		rec.Vantage, rec.At, rec.Hash, rec.Number, rec.Miner, rec.Parent, rec.From, rec.Kind, rec.NTxs, rec.Size)
-}
-
-func (r *recordHasher) RecordTx(rec measure.TxRecord) {
-	fmt.Fprintf(r.h, "T|%s|%d|%s|%d|%d|%d\n",
-		rec.Vantage, rec.At, rec.Hash, rec.Sender, rec.Nonce, rec.From)
-}
-
-func (r *recordHasher) Sum() string { return hex.EncodeToString(r.h.Sum(nil)) }
-
-// chainFingerprint hashes the full block registry.
+// chainFingerprint hashes the full block registry with the production
+// digest (logs.ChainFingerprint).
 func chainFingerprint(c *Campaign) string {
-	h := sha256.New()
-	c.registry.Blocks(func(b *types.Block) bool {
-		fmt.Fprintf(h, "C|%s|%s|%d|%d|%d|%d|%d\n",
-			b.Hash, b.ParentHash, b.Number, b.Miner, b.MinedAt, b.TotalDiff, len(b.TxHashes))
-		return true
-	})
-	return hex.EncodeToString(h.Sum(nil))
+	return logs.ChainFingerprint(c.registry)
 }
 
 // equivalenceVariants are the five seed configurations the streaming

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ethmeasure/internal/logs"
+)
+
+// TestCrossFormatSpillEquivalence is the golden cross-format test at
+// the core level: one campaign config spilled as JSONL and as binary
+// must load back to identical records, metadata and chain — the
+// analysis pipeline downstream is a pure function of these, so equal
+// inputs guarantee equal Results. (cmd/ethanalyze has the
+// complementary end-to-end test comparing full report bytes.)
+func TestCrossFormatSpillEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	run := func(format logs.Format, name string) string {
+		cfg := tinyConfig()
+		cfg.RetainRecords = false
+		cfg.SpillPath = filepath.Join(dir, name)
+		cfg.SpillFormat = format
+		campaign, err := NewCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := campaign.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.SpillPath
+	}
+	jsonlPath := run(logs.FormatJSONL, "spill.jsonl")
+	binaryPath := run(logs.FormatBinary, "spill.ethlog")
+
+	// The binary file must actually be binary (and smaller), the JSONL
+	// file actually JSONL.
+	jf, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := os.ReadFile(binaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf[0] != '{' {
+		t.Errorf("jsonl spill starts with 0x%02x, want '{'", jf[0])
+	}
+	if bf[0] == '{' {
+		t.Error("binary spill looks like JSONL")
+	}
+	if len(bf) >= len(jf) {
+		t.Errorf("binary spill (%d bytes) not smaller than JSONL (%d bytes)", len(bf), len(jf))
+	}
+
+	a, err := logs.ReadCampaignFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := logs.ReadCampaignFile(binaryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Blocks) == 0 || len(a.Txs) == 0 {
+		t.Fatalf("campaign produced no records (%d blocks, %d txs)", len(a.Blocks), len(a.Txs))
+	}
+	if !reflect.DeepEqual(a.Blocks, b.Blocks) {
+		t.Error("block records diverge across formats")
+	}
+	if !reflect.DeepEqual(a.Txs, b.Txs) {
+		t.Error("tx records diverge across formats")
+	}
+	if !reflect.DeepEqual(a.Meta, b.Meta) {
+		t.Errorf("meta diverges: %+v vs %+v", a.Meta, b.Meta)
+	}
+	if logs.ChainFingerprint(a.Chain) != logs.ChainFingerprint(b.Chain) {
+		t.Error("chain dumps diverge across formats")
+	}
+
+	// Record fingerprints across formats must agree too — the digest
+	// a checkpoint of either run would carry.
+	fp := func(c *logs.Campaign) string {
+		f := logs.NewRecordFingerprinter()
+		for i := range c.Blocks {
+			f.RecordBlock(c.Blocks[i])
+		}
+		for i := range c.Txs {
+			f.RecordTx(c.Txs[i])
+		}
+		return f.Sum()
+	}
+	if fp(a) != fp(b) {
+		t.Error("record fingerprints diverge across formats")
+	}
+}
+
+// TestSpillFormatValidation: a bogus format must be rejected up front.
+func TestSpillFormatValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SpillFormat = "protobuf"
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("unknown spill format accepted")
+	}
+}
+
+// TestSpillMetaWriteFailsAtStart pins the satellite fix: an
+// unwritable spill target (here /dev/full, which fails every write
+// with ENOSPC) must fail campaign construction — not surface hours
+// later when the run finalizes the spill file.
+func TestSpillMetaWriteFailsAtStart(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	cfg := tinyConfig()
+	cfg.RetainRecords = false
+	cfg.SpillPath = "/dev/full"
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("campaign construction succeeded with a full spill disk")
+	}
+}

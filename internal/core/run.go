@@ -311,7 +311,7 @@ func (c *Campaign) SimulateContext(ctx context.Context, opts RunOptions) error {
 		c.dataset.Txs = c.recorder.Txs
 	}
 	if c.spill != nil {
-		logs.WriteChain(c.spill.Writer, c.registry)
+		logs.WriteChain(c.spill, c.registry)
 		if err := c.spill.Close(); err != nil {
 			return fmt.Errorf("core: spill %s: %w", c.cfg.SpillPath, err)
 		}

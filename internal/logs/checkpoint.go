@@ -90,36 +90,38 @@ func ReadCheckpointFile(path string) (Checkpoint, error) {
 
 // RecordFingerprinter folds every measurement record into a running
 // SHA-256, in emission order. It implements measure.Recorder, so it
-// taps the record bus exactly like a log writer; the line format is
-// the one the core equivalence suite has always hashed, making
-// fingerprints comparable across the batch, streaming and sharded
-// pipelines.
+// taps the record bus exactly like a log writer. Records are hashed
+// through the same scratch-buffer binary encoding the ethlog spill
+// writer uses — fmt-free, zero allocations per record — so the digest
+// is pinned to the wire format and comparable across the batch,
+// streaming and sharded pipelines.
 //
 // Sum does not disturb the running state, so mid-run checkpoint
 // fingerprints and the final fingerprint come from one instance.
 type RecordFingerprinter struct {
-	h      hash.Hash
-	blocks uint64
-	txs    uint64
+	h       hash.Hash
+	scratch []byte
+	blocks  uint64
+	txs     uint64
 }
 
 // NewRecordFingerprinter creates an empty fingerprinter.
 func NewRecordFingerprinter() *RecordFingerprinter {
-	return &RecordFingerprinter{h: sha256.New()}
+	return &RecordFingerprinter{h: sha256.New(), scratch: make([]byte, 0, 256)}
 }
 
 // RecordBlock folds one block observation into the fingerprint.
 func (r *RecordFingerprinter) RecordBlock(rec measure.BlockRecord) {
 	r.blocks++
-	fmt.Fprintf(r.h, "B|%s|%d|%s|%d|%d|%s|%d|%s|%d|%d\n",
-		rec.Vantage, rec.At, rec.Hash, rec.Number, rec.Miner, rec.Parent, rec.From, rec.Kind, rec.NTxs, rec.Size)
+	r.scratch = appendBlockRecord(r.scratch[:0], &rec)
+	r.h.Write(r.scratch)
 }
 
 // RecordTx folds one transaction observation into the fingerprint.
 func (r *RecordFingerprinter) RecordTx(rec measure.TxRecord) {
 	r.txs++
-	fmt.Fprintf(r.h, "T|%s|%d|%s|%d|%d|%d\n",
-		rec.Vantage, rec.At, rec.Hash, rec.Sender, rec.Nonce, rec.From)
+	r.scratch = appendTxRecord(r.scratch[:0], &rec)
+	r.h.Write(r.scratch)
 }
 
 // Blocks returns how many block records have been folded in.
@@ -136,12 +138,25 @@ func (r *RecordFingerprinter) Sum() string {
 
 // ChainFingerprint hashes the full block registry in insertion order —
 // the same digest the core equivalence suite compares across pipeline
-// variants.
+// variants. Each block is hashed through the ethlog chain-frame
+// encoding, the exact bytes a binary chain dump would contain.
 func ChainFingerprint(reg *chain.Registry) string {
 	h := sha256.New()
+	scratch := make([]byte, 0, 256)
 	reg.Blocks(func(b *types.Block) bool {
-		fmt.Fprintf(h, "C|%s|%s|%d|%d|%d|%d|%d\n",
-			b.Hash, b.ParentHash, b.Number, b.Miner, b.MinedAt, b.TotalDiff, len(b.TxHashes))
+		cb := ChainBlock{
+			Hash:      b.Hash,
+			Number:    b.Number,
+			Parent:    b.ParentHash,
+			Miner:     b.Miner,
+			TxHashes:  b.TxHashes,
+			Uncles:    b.Uncles,
+			TotalDiff: b.TotalDiff,
+			MinedAtNs: int64(b.MinedAt),
+			Size:      b.Size,
+		}
+		scratch = appendChainBlock(scratch[:0], &cb)
+		h.Write(scratch)
 		return true
 	})
 	return hex.EncodeToString(h.Sum(nil))

@@ -1,0 +1,109 @@
+package logs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleCheckpoint() Checkpoint {
+	return Checkpoint{
+		SimTimeNs:         int64(30 * time.Minute),
+		BlockRecords:      1234,
+		TxRecords:         5678,
+		Blocks:            99,
+		RecordFingerprint: "aa11",
+		ChainFingerprint:  "bb22",
+		WallTime:          time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	want := sampleCheckpoint()
+	if err := WriteCheckpointFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+// TestCheckpointWriteFailureLeavesNoDebris pins the atomic temp+rename
+// contract on the failure path: when the final rename cannot land
+// (here: the target path is an existing directory), the write must
+// error and the directory must hold no leftover temp files a resume
+// scan could mistake for state.
+func TestCheckpointWriteFailureLeavesNoDebris(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "checkpoint.json")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpointFile(target, sampleCheckpoint()); err == nil {
+		t.Fatal("rename onto a directory must fail")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %q left behind after failed write", e.Name())
+		}
+	}
+}
+
+// TestCheckpointWriteFailureKeepsPrevious: a failed overwrite must not
+// disturb the previously committed checkpoint.
+func TestCheckpointWriteFailureKeepsPrevious(t *testing.T) {
+	missingParent := filepath.Join(t.TempDir(), "absent", "checkpoint.json")
+	if err := WriteCheckpointFile(missingParent, sampleCheckpoint()); err == nil {
+		t.Fatal("write into a missing directory must fail")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	want := sampleCheckpoint()
+	if err := WriteCheckpointFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a half-written temp file next to the
+	// committed checkpoint. Resume must still read the committed state.
+	if err := os.WriteFile(filepath.Join(dir, ".checkpoint-crash.tmp"), []byte(`{"sim_`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("committed checkpoint disturbed: %+v", got)
+	}
+}
+
+func TestCheckpointReadRejectsPartialFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := WriteCheckpointFile(path, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil {
+		t.Fatal("truncated checkpoint must not parse")
+	}
+	if _, err := ReadCheckpointFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing checkpoint must error")
+	}
+}

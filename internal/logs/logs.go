@@ -1,12 +1,18 @@
-// Package logs implements the on-disk log pipeline: measurement
-// records and the block registry serialize to JSON Lines files (one
-// JSON object per line), mirroring how the paper's instrumented Geth
-// wrote each observation to a dedicated log with a local timestamp and
-// post-processed the files offline.
+// Package logs implements the on-disk log pipeline, mirroring how the
+// paper's instrumented Geth wrote each observation to a dedicated log
+// with a local timestamp and post-processed the files offline.
+//
+// Two encodings are supported. The default is ethlog v1 (see
+// binary.go): a compact binary framing whose record encoder allocates
+// nothing in steady state, built for the bounded-memory spill path
+// and fast re-analysis. JSON Lines (one JSON object per line) is
+// retained for interop with external tooling. Readers sniff the
+// format from the first bytes, so every load path accepts either.
 package logs
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -70,6 +76,26 @@ type ChainBlock struct {
 	Size      int          `json:"s"`
 }
 
+// EntryWriter is the format-independent log sink: both the JSONL
+// Writer and the ethlog BinaryWriter satisfy it, so spill plumbing is
+// agnostic to the encoding.
+type EntryWriter interface {
+	measure.Recorder
+	Write(e *Entry)
+	Entries() int
+	Err() error
+	Flush() error
+}
+
+// NewWriterFormat creates an entry writer for the requested encoding
+// ("" means the default, binary).
+func NewWriterFormat(w io.Writer, format Format) EntryWriter {
+	if format.Resolve() == FormatJSONL {
+		return NewWriter(w)
+	}
+	return NewBinaryWriter(w)
+}
+
 // Writer streams entries to an io.Writer as JSON Lines. It implements
 // measure.Recorder, so a vantage can log straight to disk.
 type Writer struct {
@@ -80,6 +106,7 @@ type Writer struct {
 }
 
 var _ measure.Recorder = (*Writer)(nil)
+var _ EntryWriter = (*Writer)(nil)
 
 // NewWriter wraps w in a JSONL log writer.
 func NewWriter(w io.Writer) *Writer {
@@ -112,16 +139,22 @@ func (w *Writer) RecordTx(r measure.TxRecord) {
 // Entries returns how many entries were written.
 func (w *Writer) Entries() int { return w.n }
 
+// Err returns the first write error seen, if any.
+func (w *Writer) Err() error { return w.err }
+
 // Flush drains buffered output and returns the first error seen.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("logs: flush: %w", err)
+	}
+	return w.err
 }
 
 // WriteChain dumps every block in the registry (including genesis) to w.
-func WriteChain(w *Writer, reg *chain.Registry) {
+func WriteChain(w EntryWriter, reg *chain.Registry) {
 	reg.Blocks(func(b *types.Block) bool {
 		w.Write(&Entry{Kind: KindChain, Chain: &ChainBlock{
 			Hash:      b.Hash,
@@ -138,17 +171,23 @@ func WriteChain(w *Writer, reg *chain.Registry) {
 	})
 }
 
-// FileWriter couples a Writer with its backing file, for streaming a
-// campaign's records to disk as they are produced (bounded-memory
-// spill) instead of materializing them first.
+// FileWriter couples an entry writer with its backing file, for
+// streaming a campaign's records to disk as they are produced
+// (bounded-memory spill) instead of materializing them first.
 type FileWriter struct {
-	*Writer
+	EntryWriter
 	f *os.File
 }
 
 // CreateFile opens path (creating parent directories) for streaming
-// JSONL log output.
+// log output in the default (binary) encoding.
 func CreateFile(path string) (*FileWriter, error) {
+	return CreateFileFormat(path, FormatBinary)
+}
+
+// CreateFileFormat opens path (creating parent directories) for
+// streaming log output in the requested encoding.
+func CreateFileFormat(path string, format Format) (*FileWriter, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("logs: mkdir: %w", err)
 	}
@@ -156,7 +195,7 @@ func CreateFile(path string) (*FileWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("logs: create: %w", err)
 	}
-	return &FileWriter{Writer: NewWriter(f), f: f}, nil
+	return &FileWriter{EntryWriter: NewWriterFormat(f, format), f: f}, nil
 }
 
 // Close flushes buffered output and closes the file, returning the
@@ -169,24 +208,106 @@ func (fw *FileWriter) Close() error {
 	return err
 }
 
-// Reader streams entries from an io.Reader.
+// Reader streams entries from an io.Reader, auto-detecting the
+// encoding from the first bytes: the ethlog magic header selects the
+// binary decoder, anything else is treated as JSONL. JSONL lines are
+// read through an explicitly growing buffer, so entries larger than
+// any fixed scanner token limit (big chain-dump lines) decode fine.
 type Reader struct {
-	sc   *bufio.Scanner
-	line int
+	br      *bufio.Reader
+	format  Format
+	sniffed bool
+	line    int               // JSONL line counter (error context)
+	frame   int               // binary frame counter (error context)
+	buf     []byte            // reusable line / frame-payload buffer
+	intern  map[string]string // decoded-string interning table
 }
 
-// NewReader wraps r in a JSONL log reader.
+// NewReader wraps r in a format-sniffing log reader.
 func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	return &Reader{sc: sc}
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// NewReaderFormat wraps r in a log reader pinned to the given
+// encoding ("" sniffs, like NewReader). A pinned binary reader still
+// requires the magic header; a pinned JSONL reader skips sniffing
+// entirely and parses every line as JSON.
+func NewReaderFormat(r io.Reader, format Format) *Reader {
+	rd := NewReader(r)
+	if format != "" {
+		rd.format = format
+		rd.sniffed = format == FormatJSONL // binary must still consume the magic
+	}
+	return rd
+}
+
+// Format returns the detected (or pinned) encoding. Before the first
+// Next call on a sniffing reader it may be empty.
+func (r *Reader) Format() Format { return r.format }
+
+// sniff determines the stream encoding from its first bytes and, for
+// binary streams, consumes the magic header.
+func (r *Reader) sniff() error {
+	r.sniffed = true
+	head, err := r.br.Peek(len(binaryMagic))
+	if r.format == FormatBinary {
+		// Pinned binary: the header is mandatory.
+		if err != nil || [8]byte(head) != binaryMagic {
+			return fmt.Errorf("logs: not an ethlog stream (missing magic header)")
+		}
+		_, err = r.br.Discard(len(binaryMagic))
+		return err
+	}
+	if err == nil && [8]byte(head) == binaryMagic {
+		r.format = FormatBinary
+		_, err = r.br.Discard(len(binaryMagic))
+		return err
+	}
+	// Short or non-magic prefix: JSONL (including the empty stream).
+	r.format = FormatJSONL
+	return nil
 }
 
 // Next returns the next entry, or io.EOF when exhausted.
 func (r *Reader) Next() (*Entry, error) {
-	for r.sc.Scan() {
+	if !r.sniffed {
+		if err := r.sniff(); err != nil {
+			return nil, err
+		}
+	}
+	if r.format == FormatBinary {
+		return r.nextBinary()
+	}
+	return r.nextJSONL()
+}
+
+// nextJSONL reads one JSON line, growing r.buf as needed — there is
+// no upper bound on line length.
+func (r *Reader) nextJSONL() (*Entry, error) {
+	for {
+		r.buf = r.buf[:0]
+		for {
+			chunk, err := r.br.ReadSlice('\n')
+			r.buf = append(r.buf, chunk...)
+			if err == bufio.ErrBufferFull {
+				continue
+			}
+			if err == io.EOF {
+				if len(r.buf) == 0 {
+					return nil, io.EOF
+				}
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("logs: read: %w", err)
+			}
+			break
+		}
 		r.line++
-		raw := r.sc.Bytes()
+		raw := r.buf
+		for len(raw) > 0 && (raw[len(raw)-1] == '\n' || raw[len(raw)-1] == '\r') {
+			raw = raw[:len(raw)-1]
+		}
 		if len(raw) == 0 {
 			continue
 		}
@@ -196,10 +317,39 @@ func (r *Reader) Next() (*Entry, error) {
 		}
 		return &e, nil
 	}
-	if err := r.sc.Err(); err != nil {
-		return nil, fmt.Errorf("logs: scan: %w", err)
+}
+
+// nextBinary reads one length-prefixed frame and decodes it.
+func (r *Reader) nextBinary() (*Entry, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return nil, io.EOF
 	}
-	return nil, io.EOF
+	if err != nil {
+		return nil, fmt.Errorf("logs: frame %d length: %w", r.frame+1, err)
+	}
+	if n == 0 || n > maxFrameLen {
+		return nil, fmt.Errorf("logs: frame %d: invalid length %d", r.frame+1, n)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("logs: frame %d: %w", r.frame+1, err)
+	}
+	r.frame++
+	if r.intern == nil {
+		r.intern = make(map[string]string, 16)
+	}
+	e, err := decodeBinaryEntry(r.buf, r.intern)
+	if err != nil {
+		return nil, fmt.Errorf("logs: frame %d: %w", r.frame, err)
+	}
+	return e, nil
 }
 
 // Campaign is a fully loaded log file.
@@ -329,13 +479,20 @@ func LoadCampaign(r io.Reader) (*Campaign, error) {
 }
 
 // WriteFile writes records and a chain dump to path (creating parent
-// directories), one campaign per file.
+// directories) in the default (binary) encoding, one campaign per
+// file.
 func WriteFile(path string, blocks []measure.BlockRecord, txs []measure.TxRecord, reg *chain.Registry) error {
 	return WriteCampaignFile(path, nil, blocks, txs, reg)
 }
 
 // WriteCampaignFile is WriteFile with a leading metadata entry.
-func WriteCampaignFile(path string, meta *Meta, blocks []measure.BlockRecord, txs []measure.TxRecord, reg *chain.Registry) (err error) {
+func WriteCampaignFile(path string, meta *Meta, blocks []measure.BlockRecord, txs []measure.TxRecord, reg *chain.Registry) error {
+	return WriteCampaignFileFormat(path, "", meta, blocks, txs, reg)
+}
+
+// WriteCampaignFileFormat is WriteCampaignFile with an explicit
+// encoding ("" means the default, binary).
+func WriteCampaignFileFormat(path string, format Format, meta *Meta, blocks []measure.BlockRecord, txs []measure.TxRecord, reg *chain.Registry) (err error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("logs: mkdir: %w", err)
 	}
@@ -348,7 +505,7 @@ func WriteCampaignFile(path string, meta *Meta, blocks []measure.BlockRecord, tx
 			err = fmt.Errorf("logs: close: %w", cerr)
 		}
 	}()
-	w := NewWriter(f)
+	w := NewWriterFormat(f, format)
 	if meta != nil {
 		w.Write(&Entry{Kind: KindMeta, Meta: meta})
 	}
